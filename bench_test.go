@@ -1,0 +1,294 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark iteration produces the complete artifact; run with
+//
+//	go test -bench=. -benchmem
+//
+// Performance-model experiments take milliseconds; training-based quality
+// experiments run at the smoke profile and take seconds per iteration (the
+// harness automatically runs those once).
+package dmt_test
+
+import (
+	"testing"
+
+	"dmt/internal/data"
+	"dmt/internal/experiments"
+	"dmt/internal/models"
+	"dmt/internal/nn"
+	"dmt/internal/perfmodel"
+	"dmt/internal/sptt"
+	"dmt/internal/tensor"
+	"dmt/internal/topology"
+	"dmt/internal/trace"
+)
+
+// --- Throughput-side tables and figures ---
+
+func BenchmarkTable1_HardwareGenerations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 3 {
+			b.Fatal("table 1 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure1_LatencyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1()
+		if r.ComputePct <= 0 {
+			b.Fatal("figure 1 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure5_CollectiveScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Figure5(); len(rows) != 14 {
+			b.Fatal("figure 5 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure6_ParallelismCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure6()
+		if !r.DataParallelIsBest {
+			b.Fatal("figure 6: data parallelism must win")
+		}
+	}
+}
+
+func BenchmarkFigure10_DMTSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Figure10(); len(rows) != 32 {
+			b.Fatal("figure 10 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure11_TMOverSPTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Figure11(); len(rows) == 0 {
+			b.Fatal("figure 11 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure12_CompressionSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Figure12(); len(rows) != 12 {
+			b.Fatal("figure 12 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure13_ComponentLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure13()
+		if r.ComputeImprovement <= 1 {
+			b.Fatal("figure 13: DMT must improve compute")
+		}
+	}
+}
+
+func BenchmarkDiscussion_QuantizedXLRM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.QuantXLRM(); r.Speedup <= 1 {
+			b.Fatal("§6: quantized DMT must win")
+		}
+	}
+}
+
+func BenchmarkAblation_HostsPerTower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.TowerHostsAblation(); len(rows) != 4 {
+			b.Fatal("ablation wrong")
+		}
+	}
+}
+
+// --- Quality-side tables and figures (smoke profile; seconds each) ---
+
+func BenchmarkTable2_StrongBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table2(experiments.Smoke()); len(rows) != 4 {
+			b.Fatal("table 2 wrong")
+		}
+	}
+}
+
+func BenchmarkTable3_SPTTNeutrality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table3(experiments.Smoke()); len(rows) != 4 {
+			b.Fatal("table 3 wrong")
+		}
+	}
+}
+
+func BenchmarkTable4_DMTAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table4(experiments.Smoke()); len(rows) == 0 {
+			b.Fatal("table 4 wrong")
+		}
+	}
+}
+
+func BenchmarkTable5_CompressionAUC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table5(experiments.Smoke()); len(rows) != 4 {
+			b.Fatal("table 5 wrong")
+		}
+	}
+}
+
+func BenchmarkTable6_TPvsNaive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table6(experiments.Smoke()); len(rows) != 2 {
+			b.Fatal("table 6 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure9_TPEmbedding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure9(experiments.Smoke()); len(r.Groups) == 0 {
+			b.Fatal("figure 9 wrong")
+		}
+	}
+}
+
+func BenchmarkDiscussion_QuantQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.QuantQuality(experiments.Smoke()); len(rows) != 4 {
+			b.Fatal("quant quality wrong")
+		}
+	}
+}
+
+func BenchmarkXLRM_NEImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.XLRMQuality(experiments.Smoke())
+		if r.BaselineNE <= 0 {
+			b.Fatal("xlrm wrong")
+		}
+	}
+}
+
+func BenchmarkTimeline_BaselineVsDMT(b *testing.B) {
+	c := topology.NewCluster(topology.H100, 64)
+	base := perfmodel.DefaultConfig(perfmodel.DCNSpec(), c, perfmodel.Baseline)
+	dmt := perfmodel.DefaultConfig(perfmodel.DCNSpec(), c, perfmodel.DMT)
+	for i := 0; i < b.N; i++ {
+		if out := trace.Compare(base, dmt, 64); len(out) == 0 {
+			b.Fatal("timeline empty")
+		}
+	}
+}
+
+// --- Microbenchmarks of the core dataflow and training step ---
+
+func spttBenchSetup(g, l, batch, nFeatures int) (*sptt.Engine, []*sptt.Inputs) {
+	cfg := sptt.Config{G: g, L: l, B: batch, N: 16}
+	t := g / l
+	towersList := make([][]int, t)
+	for f := 0; f < nFeatures; f++ {
+		cfg.Features = append(cfg.Features, sptt.FeatureSpec{
+			Name: "f", Cardinality: 1000, Hot: 1, Mode: nn.PoolSum})
+		towersList[f%t] = append(towersList[f%t], f)
+	}
+	towerOf, rankOf, err := sptt.TowerAssignment(towersList, nFeatures, l)
+	if err != nil {
+		panic(err)
+	}
+	cfg.TowerOf, cfg.RankOf = towerOf, rankOf
+	eng, err := sptt.NewEngine(cfg, 1)
+	if err != nil {
+		panic(err)
+	}
+	r := tensor.NewRNG(2)
+	inputs := make([]*sptt.Inputs, g)
+	for rank := 0; rank < g; rank++ {
+		in := &sptt.Inputs{Indices: make([][]int32, nFeatures), Offsets: make([][]int32, nFeatures)}
+		for f := 0; f < nFeatures; f++ {
+			idx := make([]int32, batch)
+			off := make([]int32, batch)
+			for s := 0; s < batch; s++ {
+				idx[s] = int32(r.Intn(1000))
+				off[s] = int32(s)
+			}
+			in.Indices[f], in.Offsets[f] = idx, off
+		}
+		inputs[rank] = in
+	}
+	return eng, inputs
+}
+
+func BenchmarkSPTT_BaselineDataflow(b *testing.B) {
+	eng, inputs := spttBenchSetup(8, 2, 32, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.BaselineForward(inputs)
+	}
+}
+
+func BenchmarkSPTT_TransformDataflow(b *testing.B) {
+	eng, inputs := spttBenchSetup(8, 2, 32, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.SPTTForward(inputs, sptt.Options{})
+	}
+}
+
+func BenchmarkTrainStep_DLRM(b *testing.B) {
+	cfg := data.CriteoLike(1)
+	gen := data.NewGenerator(cfg)
+	m := models.NewDLRM(models.DefaultDLRMConfig(cfg.Schema, 1))
+	loss := &nn.BCEWithLogits{}
+	opt := nn.NewAdam(1e-3)
+	sparse := nn.NewSparseAdam(1e-2)
+	batch := gen.Batch(0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := m.Forward(batch)
+		loss.Forward(logits, batch.Labels)
+		for _, p := range m.DenseParams() {
+			p.ZeroGrad()
+		}
+		m.Backward(loss.Backward())
+		opt.Step(m.DenseParams())
+		for fi, g := range m.TakeSparseGrads() {
+			sparse.Step(m.Embeddings()[fi], g)
+		}
+	}
+}
+
+func BenchmarkTrainStep_DMTDLRM(b *testing.B) {
+	cfg := data.CriteoLike(1)
+	gen := data.NewGenerator(cfg)
+	towersList := make([][]int, 13)
+	for f := 0; f < cfg.NumSparse(); f++ {
+		towersList[f%13] = append(towersList[f%13], f)
+	}
+	m := models.NewDMTDLRM(models.DefaultDMTDLRMConfig(cfg.Schema, towersList, 1))
+	loss := &nn.BCEWithLogits{}
+	opt := nn.NewAdam(1e-3)
+	sparse := nn.NewSparseAdam(1e-2)
+	batch := gen.Batch(0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := m.Forward(batch)
+		loss.Forward(logits, batch.Labels)
+		for _, p := range m.DenseParams() {
+			p.ZeroGrad()
+		}
+		m.Backward(loss.Backward())
+		opt.Step(m.DenseParams())
+		for fi, g := range m.TakeSparseGrads() {
+			sparse.Step(m.Embeddings()[fi], g)
+		}
+	}
+}

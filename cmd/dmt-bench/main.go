@@ -1,0 +1,78 @@
+// Command dmt-bench regenerates the paper's throughput tables and figures
+// from the calibrated performance model: Table 1, Figures 1, 5, 6, 10, 11,
+// 12, 13, the §6 quantization comparison, and the K-host-towers ablation.
+//
+// Usage:
+//
+//	dmt-bench                 # run everything
+//	dmt-bench -exp fig10      # one experiment
+//	dmt-bench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dmt/internal/experiments"
+	"dmt/internal/perfmodel"
+	"dmt/internal/topology"
+	"dmt/internal/trace"
+)
+
+var runners = map[string]func() string{
+	"table1": func() string { return experiments.FormatTable1(experiments.Table1()) },
+	"fig1":   func() string { return experiments.FormatFigure1(experiments.Figure1()) },
+	"fig5":   func() string { return experiments.FormatFigure5(experiments.Figure5()) },
+	"fig6":   func() string { return experiments.FormatFigure6(experiments.Figure6()) },
+	"fig10": func() string {
+		return experiments.FormatSpeedups("Figure 10: Speedup of DMT over Strong Baseline", experiments.Figure10())
+	},
+	"fig11": func() string {
+		return experiments.FormatSpeedups("Figure 11: Speedup of Tower Modules over SPTT (DLRM)", experiments.Figure11())
+	},
+	"fig12": func() string { return experiments.FormatFigure12(experiments.Figure12()) },
+	"fig13": func() string { return experiments.FormatFigure13(experiments.Figure13()) },
+	"quant": func() string { return experiments.FormatQuantXLRM(experiments.QuantXLRM()) },
+	"khost": func() string { return experiments.FormatTowerHostsAblation(experiments.TowerHostsAblation()) },
+	"timeline": func() string {
+		c := topology.NewCluster(topology.H100, 64)
+		return trace.Compare(
+			perfmodel.DefaultConfig(perfmodel.DCNSpec(), c, perfmodel.Baseline),
+			perfmodel.DefaultConfig(perfmodel.DCNSpec(), c, perfmodel.DMT), 64)
+	},
+}
+
+// order fixes the presentation sequence for the "run everything" mode.
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "quant", "khost", "timeline"}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	if *exp != "" {
+		run, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dmt-bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(run())
+		return
+	}
+	for _, name := range order {
+		fmt.Print(runners[name]())
+		fmt.Println()
+	}
+}

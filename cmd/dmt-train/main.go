@@ -1,0 +1,89 @@
+// Command dmt-train regenerates the paper's model-quality tables by
+// training the reproduction's models on the synthetic CTR workload:
+// Tables 2–6, Figure 9, and the XLRM-mini normalized-entropy comparison.
+//
+// Usage:
+//
+//	dmt-train                         # everything at the quick profile
+//	dmt-train -exp table6 -profile full
+//	dmt-train -list
+//
+// Profiles: smoke (seconds), quick (default, ~minutes), full (the paper's
+// 9-repeat protocol; slowest).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dmt/internal/experiments"
+)
+
+var runners = map[string]func(p experiments.Profile) string{
+	"table2": func(p experiments.Profile) string { return experiments.FormatTable2(experiments.Table2(p)) },
+	"table3": func(p experiments.Profile) string {
+		return experiments.FormatQualityRows("Table 3: SPTT AUC-neutrality", experiments.Table3(p))
+	},
+	"table4": func(p experiments.Profile) string {
+		return experiments.FormatQualityRows("Table 4: DMT tower-count sweep", experiments.Table4(p))
+	},
+	"table5":      func(p experiments.Profile) string { return experiments.FormatTable5(experiments.Table5(p)) },
+	"table6":      func(p experiments.Profile) string { return experiments.FormatTable6(experiments.Table6(p)) },
+	"fig9":        func(p experiments.Profile) string { return experiments.FormatFigure9(experiments.Figure9(p)) },
+	"fig9learned": func(p experiments.Profile) string { return experiments.FormatFigure9(experiments.Figure9Learned(p)) },
+	"xlrm":        func(p experiments.Profile) string { return experiments.FormatXLRM(experiments.XLRMQuality(p)) },
+	"quantq":      func(p experiments.Profile) string { return experiments.FormatQuantQuality(experiments.QuantQuality(p)) },
+}
+
+var order = []string{"table2", "table3", "table4", "table5", "table6", "fig9", "xlrm", "quantq"}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all)")
+	profileName := flag.String("profile", "quick", "smoke | quick | full")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	var profile experiments.Profile
+	switch *profileName {
+	case "smoke":
+		profile = experiments.Smoke()
+	case "quick":
+		profile = experiments.Quick()
+	case "full":
+		profile = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "dmt-train: unknown profile %q\n", *profileName)
+		os.Exit(2)
+	}
+
+	runOne := func(name string) {
+		start := time.Now()
+		fmt.Print(runners[name](profile))
+		fmt.Printf("[%s profile, %.1fs]\n\n", profile.Name, time.Since(start).Seconds())
+	}
+	if *exp != "" {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "dmt-train: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		runOne(*exp)
+		return
+	}
+	for _, name := range order {
+		runOne(name)
+	}
+}

@@ -1,0 +1,21 @@
+// Package dmt is a from-scratch Go reproduction of "Disaggregated
+// Multi-Tower: Topology-aware Modeling Technique for Efficient Large Scale
+// Recommendation" (Luo et al., MLSys 2024).
+//
+// The library implements the paper's three contributions — the
+// Semantic-Preserving Tower Transform (internal/sptt), Tower Modules
+// (internal/towers), and the Tower Partitioner (internal/partition) —
+// together with every substrate they need: a float32 tensor/NN stack
+// (internal/tensor, internal/nn), an in-process collective runtime
+// (internal/comm), a synthetic CTR workload with planted interaction
+// structure (internal/data), a calibrated datacenter performance model
+// (internal/topology, internal/netsim, internal/perfmodel), embedding
+// sharding (internal/sharding), the DLRM/DCN model families
+// (internal/models), a parallelism-search study (internal/parallel), and
+// per-table/figure experiment drivers (internal/experiments) orchestrated
+// by the public planning API (internal/core).
+//
+// The root bench_test.go regenerates every table and figure of the paper's
+// evaluation; see DESIGN.md for the per-experiment index and EXPERIMENTS.md
+// for paper-versus-measured results.
+package dmt

@@ -1,0 +1,62 @@
+// Topology planner: sweep deployments of DLRM across hardware generations,
+// cluster sizes, and compression ratios, and report the modeled iteration
+// time and speedup of each — the what-if tool a capacity planner would use
+// before committing a training job (§5.3's experiments as a service).
+//
+//	go run ./examples/topology_planner
+package main
+
+import (
+	"fmt"
+
+	"dmt/internal/perfmodel"
+	"dmt/internal/topology"
+)
+
+func main() {
+	spec := perfmodel.DLRMSpec()
+
+	fmt.Println("DLRM deployment sweep (batch 16K/GPU, quantized gradient comm)")
+	fmt.Printf("%-6s %6s %12s %12s %12s %9s\n",
+		"GPU", "GPUs", "baseline ms", "SPTT ms", "DMT ms", "speedup")
+	for _, gen := range topology.Generations() {
+		for _, gpus := range []int{16, 64, 256, 512} {
+			if gen.Name == "V100" && gpus > 128 {
+				continue
+			}
+			c := topology.NewCluster(gen, gpus)
+			base := perfmodel.Iterate(perfmodel.DefaultConfig(spec, c, perfmodel.Baseline))
+			sptt := perfmodel.Iterate(perfmodel.DefaultConfig(spec, c, perfmodel.SPTT))
+			dmt := perfmodel.Iterate(perfmodel.DefaultConfig(spec, c, perfmodel.DMT))
+			fmt.Printf("%-6s %6d %12.2f %12.2f %12.2f %8.2fx\n",
+				gen.Name, gpus, base.Total()*1e3, sptt.Total()*1e3, dmt.Total()*1e3,
+				base.Total()/dmt.Total())
+		}
+	}
+
+	// Pick the best compression ratio for a quality budget: Table 5 says CR
+	// 16 costs about half a point of AUC; a planner trades that against the
+	// modeled throughput.
+	fmt.Println("\nCompression-ratio frontier on 512xH100 (quality cost from Table 5's shape):")
+	c := topology.NewCluster(topology.H100, 512)
+	sptt := perfmodel.DefaultConfig(spec, c, perfmodel.SPTT)
+	fmt.Printf("%6s %14s %16s\n", "CR", "DMT iter ms", "speedup vs SPTT")
+	for _, cr := range []float64{1, 2, 4, 8, 16} {
+		dmt := perfmodel.DefaultConfig(spec, c, perfmodel.DMT)
+		dmt.CompressionRatio = cr
+		it := perfmodel.Iterate(dmt)
+		fmt.Printf("%6.0f %14.2f %15.2fx\n",
+			cr, it.Total()*1e3, perfmodel.Iterate(sptt).Total()/it.Total())
+	}
+
+	// K-host towers (§3.1.3): trading peer-world reduction against wider
+	// intra-tower collectives.
+	fmt.Println("\nHosts-per-tower ablation on 512xA100:")
+	ca := topology.NewCluster(topology.A100, 512)
+	fmt.Printf("%14s %8s %14s\n", "hosts/tower", "towers", "DMT iter ms")
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := perfmodel.DefaultConfig(spec, ca, perfmodel.DMT)
+		cfg.Towers = ca.Hosts / k
+		fmt.Printf("%14d %8d %14.2f\n", k, cfg.Towers, perfmodel.Iterate(cfg).Total()*1e3)
+	}
+}

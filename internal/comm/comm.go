@@ -1,0 +1,243 @@
+// Package comm is the in-process collective-communication runtime that
+// stands in for NCCL. Ranks are goroutines; a Group is a private full mesh
+// of buffered channels; collectives (AlltoAll, AllReduce, ReduceScatter,
+// AllGather, Broadcast, Barrier) move real tensors between ranks.
+//
+// The runtime is deterministic: every collective delivers results in source
+// rank order and reductions accumulate in rank order, so repeated runs are
+// bit-identical — which is what lets the SPTT semantic-preservation tests
+// (package sptt) compare the transformed dataflow against the baseline
+// global AlltoAll exactly.
+//
+// Per-pair traffic counters record how many bytes each rank sent to each
+// other rank. Given a host mapping, callers can split that into intra-host
+// (NVLink in the real system) and cross-host (RDMA) volumes — the quantity
+// the paper's whole argument is about.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"dmt/internal/tensor"
+)
+
+// Comm is one rank's handle to a communication group. All collective calls
+// must be made by every rank of the group, in the same order, each from its
+// own goroutine (see Run).
+//
+// Payloads are delivered by reference, not copied (the in-process analog of
+// zero-copy RDMA). A sender must therefore not mutate a tensor after
+// sending it within the same collective epoch; clone first if the buffer
+// will be overwritten.
+type Comm struct {
+	rank int
+	g    *group
+}
+
+type group struct {
+	size int
+	// mail[dst][src] carries messages from src to dst. Capacity 1 per pair:
+	// one collective has at most one message in flight per directed pair,
+	// and channel FIFO ordering serializes consecutive collectives.
+	mail [][]chan any
+	// sent[src][dst] counts payload bytes; written only by src's rank
+	// goroutine, read after Run returns (the join provides the
+	// happens-before edge).
+	sent [][]int64
+}
+
+// NewGroup creates a fresh group of the given size and returns one Comm per
+// rank. Groups are independent: SPTT builds a global group, one intra-host
+// group per host, and one peer group per local index, and hands each rank
+// its three handles.
+func NewGroup(size int) []*Comm {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: group size %d", size))
+	}
+	g := &group{size: size}
+	g.mail = make([][]chan any, size)
+	g.sent = make([][]int64, size)
+	for d := 0; d < size; d++ {
+		g.mail[d] = make([]chan any, size)
+		g.sent[d] = make([]int64, size)
+		for s := 0; s < size; s++ {
+			g.mail[d][s] = make(chan any, 1)
+		}
+	}
+	comms := make([]*Comm, size)
+	for r := 0; r < size; r++ {
+		comms[r] = &Comm{rank: r, g: g}
+	}
+	return comms
+}
+
+// Rank returns this handle's rank within the group.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.g.size }
+
+// BytesSentTo returns the bytes this rank sent to dst so far. Valid to read
+// after the rank goroutines have been joined.
+func (c *Comm) BytesSentTo(dst int) int64 { return c.g.sent[c.rank][dst] }
+
+// BytesSent returns total bytes sent by this rank, excluding self-delivery.
+func (c *Comm) BytesSent() int64 {
+	var t int64
+	for d, b := range c.g.sent[c.rank] {
+		if d != c.rank {
+			t += b
+		}
+	}
+	return t
+}
+
+// TrafficMatrix returns a copy of the (src, dst) byte counters for the whole
+// group. Valid after the rank goroutines have been joined.
+func TrafficMatrix(comms []*Comm) [][]int64 {
+	g := comms[0].g
+	out := make([][]int64, g.size)
+	for s := range out {
+		out[s] = append([]int64(nil), g.sent[s]...)
+	}
+	return out
+}
+
+func (c *Comm) send(dst int, v any, nbytes int) {
+	c.g.sent[c.rank][dst] += int64(nbytes)
+	c.g.mail[dst][c.rank] <- v
+}
+
+func (c *Comm) recv(src int) any { return <-c.g.mail[c.rank][src] }
+
+func tensorBytes(t *tensor.Tensor) int {
+	if t == nil {
+		return 0
+	}
+	return 4 * t.Len()
+}
+
+// AlltoAllTensors sends chunks[j] to rank j and returns the received chunks
+// indexed by source rank. Chunk shapes may differ per destination (the "V"
+// variant), which the embedding distribution steps rely on.
+func (c *Comm) AlltoAllTensors(chunks []*tensor.Tensor) []*tensor.Tensor {
+	n := c.g.size
+	if len(chunks) != n {
+		panic(fmt.Sprintf("comm: AlltoAll needs %d chunks, got %d", n, len(chunks)))
+	}
+	for d := 0; d < n; d++ {
+		c.send(d, chunks[d], tensorBytes(chunks[d]))
+	}
+	out := make([]*tensor.Tensor, n)
+	for s := 0; s < n; s++ {
+		v := c.recv(s)
+		if v != nil {
+			out[s] = v.(*tensor.Tensor)
+		}
+	}
+	return out
+}
+
+// AlltoAllInt32 is AlltoAllTensors for index payloads (the sparse-feature
+// distribution of SPTT/baseline step a sends indices, not embeddings).
+func (c *Comm) AlltoAllInt32(chunks [][]int32) [][]int32 {
+	n := c.g.size
+	if len(chunks) != n {
+		panic(fmt.Sprintf("comm: AlltoAllInt32 needs %d chunks, got %d", n, len(chunks)))
+	}
+	for d := 0; d < n; d++ {
+		c.send(d, chunks[d], 4*len(chunks[d]))
+	}
+	out := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		v := c.recv(s)
+		if v != nil {
+			out[s] = v.([]int32)
+		}
+	}
+	return out
+}
+
+// AllGather distributes x to every rank; the result is indexed by source.
+func (c *Comm) AllGather(x *tensor.Tensor) []*tensor.Tensor {
+	chunks := make([]*tensor.Tensor, c.g.size)
+	for d := range chunks {
+		chunks[d] = x
+	}
+	return c.AlltoAllTensors(chunks)
+}
+
+// AllReduceSum returns the elementwise sum of every rank's x. The reduction
+// is performed in rank order on every rank, so all ranks obtain bit-identical
+// results (deterministic, unlike real ring reductions).
+func (c *Comm) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
+	parts := c.AllGather(x)
+	out := parts[0].Clone()
+	for s := 1; s < len(parts); s++ {
+		tensor.AddInPlace(out, parts[s])
+	}
+	return out
+}
+
+// ReduceScatterSum sends chunks[j] to rank j and returns the rank-ordered
+// sum of the chunks addressed to this rank. This is step (d) of SPTT for
+// row-wise-sharded multi-hot tables (§3.1.3), where partial pooled
+// embeddings must be summed rather than concatenated.
+func (c *Comm) ReduceScatterSum(chunks []*tensor.Tensor) *tensor.Tensor {
+	parts := c.AlltoAllTensors(chunks)
+	out := parts[0].Clone()
+	for s := 1; s < len(parts); s++ {
+		tensor.AddInPlace(out, parts[s])
+	}
+	return out
+}
+
+// Broadcast returns root's x on every rank.
+func (c *Comm) Broadcast(x *tensor.Tensor, root int) *tensor.Tensor {
+	if c.rank == root {
+		for d := 0; d < c.g.size; d++ {
+			if d != root {
+				c.send(d, x, tensorBytes(x))
+			}
+		}
+		return x
+	}
+	return c.recv(root).(*tensor.Tensor)
+}
+
+// Barrier blocks until every rank of the group has entered it.
+func (c *Comm) Barrier() {
+	for d := 0; d < c.g.size; d++ {
+		c.send(d, nil, 0)
+	}
+	for s := 0; s < c.g.size; s++ {
+		c.recv(s)
+	}
+}
+
+// Run executes fn once per rank, each in its own goroutine, and waits for
+// all of them. A panic in any rank is captured and re-raised in the caller
+// with its rank attached, so test failures point at the offending rank.
+func Run(comms []*Comm, fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, len(comms))
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			fn(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", i, p))
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package comm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dmt/internal/tensor"
+)
+
+func TestAlltoAllTensors(t *testing.T) {
+	const n = 4
+	comms := NewGroup(n)
+	results := make([][]*tensor.Tensor, n)
+	Run(comms, func(c *Comm) {
+		chunks := make([]*tensor.Tensor, n)
+		for d := 0; d < n; d++ {
+			// Payload encodes (src, dst) so routing errors are visible.
+			chunks[d] = tensor.FromSlice([]float32{float32(10*c.Rank() + d)}, 1)
+		}
+		results[c.Rank()] = c.AlltoAllTensors(chunks)
+	})
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			want := float32(10*src + dst)
+			if got := results[dst][src].Data()[0]; got != want {
+				t.Fatalf("dst %d src %d got %v want %v", dst, src, got, want)
+			}
+		}
+	}
+}
+
+func TestAlltoAllVariableShapes(t *testing.T) {
+	const n = 3
+	comms := NewGroup(n)
+	results := make([][]*tensor.Tensor, n)
+	Run(comms, func(c *Comm) {
+		chunks := make([]*tensor.Tensor, n)
+		for d := 0; d < n; d++ {
+			chunks[d] = tensor.Full(float32(c.Rank()), d+1) // length depends on dst
+		}
+		results[c.Rank()] = c.AlltoAllTensors(chunks)
+	})
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			got := results[dst][src]
+			if got.Len() != dst+1 || got.Data()[0] != float32(src) {
+				t.Fatalf("variable chunk dst=%d src=%d wrong: %v", dst, src, got)
+			}
+		}
+	}
+}
+
+func TestAlltoAllInt32(t *testing.T) {
+	const n = 3
+	comms := NewGroup(n)
+	results := make([][][]int32, n)
+	Run(comms, func(c *Comm) {
+		chunks := make([][]int32, n)
+		for d := 0; d < n; d++ {
+			chunks[d] = []int32{int32(c.Rank()), int32(d)}
+		}
+		results[c.Rank()] = c.AlltoAllInt32(chunks)
+	})
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			got := results[dst][src]
+			if got[0] != int32(src) || got[1] != int32(dst) {
+				t.Fatalf("int32 routing wrong: dst=%d src=%d got=%v", dst, src, got)
+			}
+		}
+	}
+}
+
+func TestAllGatherAndAllReduce(t *testing.T) {
+	const n = 5
+	comms := NewGroup(n)
+	sums := make([]*tensor.Tensor, n)
+	gathers := make([][]*tensor.Tensor, n)
+	Run(comms, func(c *Comm) {
+		x := tensor.FromSlice([]float32{float32(c.Rank()), 1}, 2)
+		gathers[c.Rank()] = c.AllGather(x)
+		sums[c.Rank()] = c.AllReduceSum(x)
+	})
+	for r := 0; r < n; r++ {
+		if sums[r].Data()[0] != 10 || sums[r].Data()[1] != 5 {
+			t.Fatalf("allreduce rank %d got %v", r, sums[r].Data())
+		}
+		for s := 0; s < n; s++ {
+			if gathers[r][s].Data()[0] != float32(s) {
+				t.Fatalf("allgather rank %d src %d got %v", r, s, gathers[r][s].Data())
+			}
+		}
+	}
+	// Determinism: all ranks bit-identical.
+	for r := 1; r < n; r++ {
+		if !sums[r].Equal(sums[0]) {
+			t.Fatal("allreduce results differ across ranks")
+		}
+	}
+}
+
+func TestReduceScatterSum(t *testing.T) {
+	const n = 3
+	comms := NewGroup(n)
+	out := make([]*tensor.Tensor, n)
+	Run(comms, func(c *Comm) {
+		chunks := make([]*tensor.Tensor, n)
+		for d := 0; d < n; d++ {
+			chunks[d] = tensor.FromSlice([]float32{float32(c.Rank() + d)}, 1)
+		}
+		out[c.Rank()] = c.ReduceScatterSum(chunks)
+	})
+	// Rank d receives sum over src of (src + d) = 3 + 3d for n = 3.
+	for d := 0; d < n; d++ {
+		want := float32(3 + 3*d)
+		if out[d].Data()[0] != want {
+			t.Fatalf("reducescatter rank %d got %v want %v", d, out[d].Data()[0], want)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const n = 4
+	comms := NewGroup(n)
+	out := make([]*tensor.Tensor, n)
+	Run(comms, func(c *Comm) {
+		var x *tensor.Tensor
+		if c.Rank() == 2 {
+			x = tensor.FromSlice([]float32{7, 8}, 2)
+		}
+		out[c.Rank()] = c.Broadcast(x, 2)
+	})
+	for r := 0; r < n; r++ {
+		if out[r].Data()[0] != 7 || out[r].Data()[1] != 8 {
+			t.Fatalf("broadcast rank %d got %v", r, out[r].Data())
+		}
+	}
+}
+
+func TestBarrierAndSequencedCollectives(t *testing.T) {
+	// Multiple collectives back to back must not interleave payloads.
+	const n = 4
+	comms := NewGroup(n)
+	var mu sync.Mutex
+	bad := false
+	Run(comms, func(c *Comm) {
+		for round := 0; round < 10; round++ {
+			chunks := make([]*tensor.Tensor, n)
+			for d := 0; d < n; d++ {
+				chunks[d] = tensor.FromSlice([]float32{float32(round)}, 1)
+			}
+			got := c.AlltoAllTensors(chunks)
+			for _, g := range got {
+				if g.Data()[0] != float32(round) {
+					mu.Lock()
+					bad = true
+					mu.Unlock()
+				}
+			}
+			c.Barrier()
+		}
+	})
+	if bad {
+		t.Fatal("payloads from different collective rounds interleaved")
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	const n = 3
+	comms := NewGroup(n)
+	Run(comms, func(c *Comm) {
+		chunks := make([]*tensor.Tensor, n)
+		for d := 0; d < n; d++ {
+			chunks[d] = tensor.New(5) // 20 bytes each
+		}
+		c.AlltoAllTensors(chunks)
+	})
+	m := TrafficMatrix(comms)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if m[s][d] != 20 {
+				t.Fatalf("traffic[%d][%d] = %d, want 20", s, d, m[s][d])
+			}
+		}
+	}
+	// BytesSent excludes self-delivery: 2 peers * 20 bytes.
+	if comms[0].BytesSent() != 40 {
+		t.Fatalf("BytesSent = %d", comms[0].BytesSent())
+	}
+	if comms[1].BytesSentTo(2) != 20 {
+		t.Fatalf("BytesSentTo = %d", comms[1].BytesSentTo(2))
+	}
+}
+
+func TestRunPropagatesPanicsWithRank(t *testing.T) {
+	comms := NewGroup(2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "rank 1") {
+			t.Fatalf("panic should identify rank 1: %v", r)
+		}
+	}()
+	Run(comms, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		// Rank 0 must not deadlock waiting for rank 1.
+	})
+}
+
+func TestNewGroupRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGroup(0)
+}
+
+// Property: AlltoAll twice returns data to its origin (transpose is an
+// involution on the (src, dst) chunk matrix).
+func TestQuickAlltoAllInvolution(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%6) + 1
+		comms := NewGroup(n)
+		orig := make([][]*tensor.Tensor, n)
+		final := make([][]*tensor.Tensor, n)
+		r := tensor.NewRNG(seed)
+		for i := 0; i < n; i++ {
+			orig[i] = make([]*tensor.Tensor, n)
+			for d := 0; d < n; d++ {
+				orig[i][d] = tensor.RandN(r, 1, 3)
+			}
+		}
+		Run(comms, func(c *Comm) {
+			once := c.AlltoAllTensors(orig[c.Rank()])
+			final[c.Rank()] = c.AlltoAllTensors(once)
+		})
+		for i := 0; i < n; i++ {
+			for d := 0; d < n; d++ {
+				if !final[i][d].Equal(orig[i][d]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package distributed trains a DMT model with the paper's actual training
+// paradigm, end to end: embedding tables are model-parallel behind the SPTT
+// dataflow (§3.1), tower modules run as data-parallel replicas per host GPU
+// with intra-host gradient reduction (§3.2), and the over-arch runs fully
+// data-parallel with a global gradient average (§2.2).
+//
+// Gradients are normalized so that one distributed step over G ranks with
+// local batch B is mathematically identical to one single-process step over
+// the concatenated global batch of G·B samples — the package test verifies
+// the two trajectories agree step for step, which is the training-paradigm
+// counterpart of the sptt package's forward/backward equivalence theorems.
+package distributed
+
+import (
+	"fmt"
+
+	"dmt/internal/data"
+	"dmt/internal/models"
+	"dmt/internal/nn"
+	"dmt/internal/sptt"
+	"dmt/internal/tensor"
+)
+
+// Config sizes a distributed DMT-DLRM training job.
+type Config struct {
+	// Cluster shape: G ranks, L per host.
+	G, L int
+	// LocalBatch per rank.
+	LocalBatch int
+	// Model holds the DMT-DLRM architecture; its Towers must already be in
+	// SPTT "host order" (use TowersInHostOrder).
+	Model models.DMTDLRMConfig
+	// Learning rates (Adam for dense, SparseAdam for tables).
+	DenseLR  float32
+	SparseLR float32
+	// Seed drives table initialization.
+	Seed uint64
+}
+
+// Trainer holds the replicas, the dataflow engine, and optimizer state.
+type Trainer struct {
+	cfg      Config
+	engine   *sptt.Engine
+	replicas []*models.DMTDLRM
+	modules  []sptt.TowerModule
+	// each rank's optimizer: identical state keeps replicas in lockstep.
+	denseOpts []*nn.Adam
+	sparseOpt *nn.SparseAdam
+	loss      []*nn.BCEWithLogits
+}
+
+// TowersInHostOrder converts a tower partition into the feature order the
+// SPTT dataflow materializes (per local rank ascending within each tower),
+// so the single-process model and the distributed dataflow agree on column
+// layout.
+func TowersInHostOrder(towers [][]int, nFeatures, l int) ([][]int, []int, []int, error) {
+	towerOf, rankOf, err := sptt.TowerAssignment(towers, nFeatures, l)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := sptt.Config{G: len(towers) * l, L: l, TowerOf: towerOf, RankOf: rankOf}
+	ordered := make([][]int, len(towers))
+	for t := range towers {
+		ordered[t] = cfg.TowerFeatures(t)
+	}
+	return ordered, towerOf, rankOf, nil
+}
+
+// New builds the trainer: G full model replicas with identical parameters
+// (same seed), an SPTT engine whose tables are the replicas' tables, and
+// per-rank tower-module bindings.
+func New(cfg Config) (*Trainer, error) {
+	t := cfg.G / cfg.L
+	if len(cfg.Model.Towers) != t {
+		return nil, fmt.Errorf("distributed: %d towers for %d hosts", len(cfg.Model.Towers), t)
+	}
+	ordered, towerOf, rankOf, err := TowersInHostOrder(cfg.Model.Towers, cfg.Model.Schema.NumSparse(), cfg.L)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Model.Towers = ordered
+
+	tr := &Trainer{cfg: cfg, sparseOpt: nn.NewSparseAdam(cfg.SparseLR)}
+	for g := 0; g < cfg.G; g++ {
+		m := models.NewDMTDLRM(cfg.Model)
+		tr.replicas = append(tr.replicas, m)
+		tr.modules = append(tr.modules, m.TMs[g/cfg.L])
+		tr.denseOpts = append(tr.denseOpts, nn.NewAdam(cfg.DenseLR))
+		tr.loss = append(tr.loss, &nn.BCEWithLogits{})
+	}
+
+	// The dataflow engine owns the canonical tables; seed them from replica
+	// 0 so a single-process golden model with the same model seed matches.
+	scfg := sptt.Config{
+		G: cfg.G, L: cfg.L, B: cfg.LocalBatch, N: cfg.Model.N,
+		TowerOf: towerOf, RankOf: rankOf,
+	}
+	for f := 0; f < cfg.Model.Schema.NumSparse(); f++ {
+		scfg.Features = append(scfg.Features, sptt.FeatureSpec{
+			Name:        fmt.Sprintf("emb%d", f),
+			Cardinality: cfg.Model.Schema.Cardinalities[f],
+			Hot:         cfg.Model.Schema.HotSizes[f],
+			Mode:        nn.PoolSum,
+		})
+	}
+	eng, err := sptt.NewEngine(scfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for f, e := range tr.replicas[0].Embs {
+		eng.Tables[f].Table.CopyFrom(e.Table)
+	}
+	tr.engine = eng
+	return tr, nil
+}
+
+// Engine exposes the dataflow engine (its tables are the canonical ones).
+func (tr *Trainer) Engine() *sptt.Engine { return tr.engine }
+
+// Replica returns rank g's model replica.
+func (tr *Trainer) Replica(g int) *models.DMTDLRM { return tr.replicas[g] }
+
+// StepResult summarizes one distributed step.
+type StepResult struct {
+	MeanLoss float64
+	// PerRankLoss is each rank's local BCE.
+	PerRankLoss []float64
+}
+
+// Step runs one synchronous training iteration: batches[g] is rank g's
+// local minibatch.
+func (tr *Trainer) Step(batches []*data.Batch) StepResult {
+	cfg := tr.cfg
+	if len(batches) != cfg.G {
+		panic(fmt.Sprintf("distributed: %d batches for %d ranks", len(batches), cfg.G))
+	}
+	inputs := make([]*sptt.Inputs, cfg.G)
+	for g, b := range batches {
+		inputs[g] = &sptt.Inputs{Indices: b.Indices, Offsets: b.Offsets}
+	}
+
+	// Forward: embedding distribution + tower modules (distributed), then
+	// the dense over-arch per rank.
+	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{})
+	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
+	dCompressed := make([]*tensor.Tensor, cfg.G)
+	for g := 0; g < cfg.G; g++ {
+		m := tr.replicas[g]
+		for _, p := range m.DenseParams() {
+			p.ZeroGrad()
+		}
+		logits := m.ForwardDense(batches[g].Dense, compressed[g])
+		res.PerRankLoss[g] = tr.loss[g].Forward(logits, batches[g].Labels)
+		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
+		dCompressed[g] = m.BackwardDense(tr.loss[g].Backward())
+	}
+
+	// Backward through the dataflow: tower-module gradients are reduced
+	// intra-host inside SPTTBackward; sparse gradients land at the owners.
+	sparse := tr.engine.SPTTBackward(st, dCompressed)
+
+	// Gradient normalization to the global-batch mean (see package doc):
+	// over-arch gradients average across all ranks; tower-module gradients
+	// arrive host-summed over all G·B samples and divide by G; sparse
+	// gradients likewise.
+	invG := 1 / float32(cfg.G)
+	overArch := make([][]*nn.Param, cfg.G)
+	for g := 0; g < cfg.G; g++ {
+		overArch[g] = tr.replicas[g].OverArchParams()
+	}
+	for pi := range overArch[0] {
+		avg := overArch[0][pi].Grad.Clone()
+		for g := 1; g < cfg.G; g++ {
+			tensor.AddInPlace(avg, overArch[g][pi].Grad)
+		}
+		for i, v := range avg.Data() {
+			avg.Data()[i] = v * invG
+		}
+		for g := 0; g < cfg.G; g++ {
+			overArch[g][pi].Grad.CopyFrom(avg)
+		}
+	}
+	for g := 0; g < cfg.G; g++ {
+		for _, p := range tr.modules[g].Params() {
+			d := p.Grad.Data()
+			for i := range d {
+				d[i] *= invG
+			}
+		}
+	}
+	for _, sg := range sparse {
+		d := sg.Grads.Data()
+		for i := range d {
+			d[i] *= invG
+		}
+	}
+
+	// Updates: each rank steps its over-arch and its own tower module; the
+	// owner applies sparse updates to the canonical tables.
+	for g := 0; g < cfg.G; g++ {
+		params := append(append([]*nn.Param(nil), overArch[g]...), tr.modules[g].Params()...)
+		tr.denseOpts[g].Step(params)
+	}
+	for f, sg := range sparse {
+		if len(sg.Rows) > 0 {
+			tr.sparseOpt.Step(tr.engine.Tables[f], sg)
+		}
+	}
+	return res
+}
+
+// ReplicasInSync checks that every rank's over-arch parameters and every
+// host's tower-module replicas are bit-identical — the invariant that makes
+// data parallelism correct.
+func (tr *Trainer) ReplicasInSync() error {
+	base := tr.replicas[0].OverArchParams()
+	for g := 1; g < tr.cfg.G; g++ {
+		for pi, p := range tr.replicas[g].OverArchParams() {
+			if !p.Value.Equal(base[pi].Value) {
+				return fmt.Errorf("distributed: rank %d over-arch param %s diverged", g, p.Name)
+			}
+		}
+	}
+	for h := 0; h < tr.cfg.G/tr.cfg.L; h++ {
+		base := tr.modules[h*tr.cfg.L].Params()
+		for j := 1; j < tr.cfg.L; j++ {
+			for pi, p := range tr.modules[h*tr.cfg.L+j].Params() {
+				if !p.Value.Equal(base[pi].Value) {
+					return fmt.Errorf("distributed: host %d TM replica %d param %s diverged", h, j, p.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+
+	"dmt/internal/data"
+	"dmt/internal/models"
+	"dmt/internal/nn"
+	"dmt/internal/tensor"
+)
+
+// testSetup builds a small cluster (4 ranks, 2 hosts) and workload.
+func testSetup(seed uint64) (Config, *data.Generator) {
+	dcfg := data.CriteoLike(seed)
+	dcfg.Cardinalities = make([]int, 8)
+	dcfg.HotSizes = make([]int, 8)
+	for i := range dcfg.Cardinalities {
+		dcfg.Cardinalities[i] = 32
+		dcfg.HotSizes[i] = 1
+	}
+	dcfg.NumGroups = 2
+	gen := data.NewGenerator(dcfg)
+
+	towers := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	mcfg := models.DMTDLRMConfig{
+		Schema: dcfg.Schema, N: 8, Towers: towers,
+		C: 1, P: 0, D: 4,
+		BottomMLP: []int{16, 4}, TopMLP: []int{16},
+		Seed: 99,
+	}
+	return Config{
+		G: 4, L: 2, LocalBatch: 6,
+		Model:    mcfg,
+		DenseLR:  1e-3,
+		SparseLR: 1e-2,
+		Seed:     7,
+	}, gen
+}
+
+// splitGlobalBatch cuts a global batch into per-rank local batches.
+func splitGlobalBatch(gen *data.Generator, step, g, b int) (global *data.Batch, locals []*data.Batch) {
+	global = gen.Batch(step*g*b, g*b)
+	for r := 0; r < g; r++ {
+		locals = append(locals, gen.Batch(step*g*b+r*b, b))
+	}
+	return global, locals
+}
+
+// TestDistributedMatchesSingleProcess is the training-paradigm equivalence
+// theorem: a distributed step over G ranks with local batch B must follow
+// the same trajectory as a single-process step over the concatenated G·B
+// batch, with identical optimizers.
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	cfg, gen := testSetup(1)
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden single-process model: identical seed and the SAME host-ordered
+	// tower layout the trainer computed.
+	goldenCfg := cfg.Model
+	goldenCfg.Towers, _, _, err = func() ([][]int, []int, []int, error) {
+		return TowersInHostOrder([][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}, 8, cfg.L)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := models.NewDMTDLRM(goldenCfg)
+	// Align golden's tables with the trainer's canonical (engine) tables.
+	for f, e := range golden.Embs {
+		e.Table.CopyFrom(tr.Engine().Tables[f].Table)
+	}
+
+	goldenOpt := nn.NewAdam(cfg.DenseLR)
+	goldenSparse := nn.NewSparseAdam(cfg.SparseLR)
+	loss := &nn.BCEWithLogits{}
+
+	const steps = 3
+	for step := 0; step < steps; step++ {
+		global, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
+
+		// Distributed step.
+		res := tr.Step(locals)
+
+		// Golden step.
+		logits := golden.Forward(global)
+		goldenLoss := loss.Forward(logits, global.Labels)
+		for _, p := range golden.DenseParams() {
+			p.ZeroGrad()
+		}
+		golden.Backward(loss.Backward())
+		goldenOpt.Step(golden.DenseParams())
+		for fi, g := range golden.TakeSparseGrads() {
+			if g != nil && len(g.Rows) > 0 {
+				goldenSparse.Step(golden.Embs[fi], g)
+			}
+		}
+
+		// Loss agreement: mean of local losses == global-batch loss.
+		if math.Abs(res.MeanLoss-goldenLoss) > 1e-5 {
+			t.Fatalf("step %d: distributed loss %v vs golden %v", step, res.MeanLoss, goldenLoss)
+		}
+
+		// Parameter agreement after the update.
+		gp := golden.OverArchParams()
+		for pi, p := range tr.Replica(0).OverArchParams() {
+			if !p.Value.AllClose(gp[pi].Value, 1e-4, 1e-6) {
+				t.Fatalf("step %d: over-arch %s diverged by %v", step, p.Name,
+					p.Value.MaxAbsDiff(gp[pi].Value))
+			}
+		}
+		for h := 0; h < cfg.G/cfg.L; h++ {
+			gtm := golden.TMs[h].Params()
+			for pi, p := range tr.Replica(h * cfg.L).TMs[h].Params() {
+				if !p.Value.AllClose(gtm[pi].Value, 1e-4, 1e-6) {
+					t.Fatalf("step %d: TM %d param %s diverged by %v", step, h, p.Name,
+						p.Value.MaxAbsDiff(gtm[pi].Value))
+				}
+			}
+		}
+		for f := range golden.Embs {
+			if !tr.Engine().Tables[f].Table.AllClose(golden.Embs[f].Table, 1e-4, 1e-6) {
+				t.Fatalf("step %d: table %d diverged by %v", step, f,
+					tr.Engine().Tables[f].Table.MaxAbsDiff(golden.Embs[f].Table))
+			}
+		}
+	}
+}
+
+func TestReplicasStayInSync(t *testing.T) {
+	cfg, gen := testSetup(2)
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 4; step++ {
+		_, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
+		tr.Step(locals)
+		if err := tr.ReplicasInSync(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestDistributedLossDecreases(t *testing.T) {
+	cfg, gen := testSetup(3)
+	cfg.LocalBatch = 16
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	const steps = 30
+	for step := 0; step < steps; step++ {
+		_, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
+		res := tr.Step(locals)
+		if step == 0 {
+			first = res.MeanLoss
+		}
+		last = res.MeanLoss
+	}
+	if last >= first {
+		t.Fatalf("distributed training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestTowersInHostOrder(t *testing.T) {
+	ordered, towerOf, rankOf, err := TowersInHostOrder([][]int{{3, 0}, {1, 2}}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tower 0's features placed round-robin on ranks 0,1 -> host order is
+	// rank 0's features ascending, then rank 1's.
+	if len(ordered[0]) != 2 || len(ordered[1]) != 2 {
+		t.Fatalf("ordered towers wrong: %v", ordered)
+	}
+	if towerOf[3] != 0 || towerOf[1] != 1 {
+		t.Fatal("towerOf wrong")
+	}
+	for f, r := range rankOf {
+		if r/2 != towerOf[f] {
+			t.Fatal("rank not on tower host")
+		}
+	}
+	if _, _, _, err := TowersInHostOrder([][]int{{0}}, 2, 2); err == nil {
+		t.Fatal("incomplete partition must error")
+	}
+}
+
+func TestNewRejectsMismatchedTowers(t *testing.T) {
+	cfg, _ := testSetup(4)
+	cfg.Model.Towers = [][]int{{0, 1, 2, 3, 4, 5, 6, 7}} // 1 tower, 2 hosts
+	if _, err := New(cfg); err == nil {
+		t.Fatal("tower/host mismatch must error")
+	}
+}
+
+func TestStepRejectsWrongBatchCount(t *testing.T) {
+	cfg, gen := testSetup(5)
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Step([]*data.Batch{gen.Batch(0, cfg.LocalBatch)})
+}
+
+// Property-ish check: gradients flowing through the full distributed stack
+// are finite and the canonical tables only move on touched rows.
+func TestSparseUpdateLocality(t *testing.T) {
+	cfg, gen := testSetup(6)
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]*tensor.Tensor, len(tr.Engine().Tables))
+	for f, e := range tr.Engine().Tables {
+		before[f] = e.Table.Clone()
+	}
+	_, locals := splitGlobalBatch(gen, 0, cfg.G, cfg.LocalBatch)
+	tr.Step(locals)
+
+	// Collect touched rows per feature from the batches.
+	for f, e := range tr.Engine().Tables {
+		touched := map[int]bool{}
+		for _, b := range locals {
+			for _, ix := range b.Indices[f] {
+				touched[int(ix)] = true
+			}
+		}
+		for r := 0; r < e.Rows; r++ {
+			moved := !rowsEqual(e.Table.Row(r), before[f].Row(r))
+			if moved && !touched[r] {
+				t.Fatalf("table %d row %d moved without being touched", f, r)
+			}
+		}
+	}
+}
+
+func rowsEqual(a, b []float32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

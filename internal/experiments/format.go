@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable1 renders the hardware-generations table.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Generational upgrades (compute outpaces network)\n")
+	fmt.Fprintf(&b, "%-6s %-6s %10s %12s %12s %9s %9s\n",
+		"GPU", "Year", "Peak TF/s", "ScaleOut Gb", "ScaleUp GB/s", "Compute×", "Net×")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-6d %10.1f %12.0f %12.0f %9.1f %9.1f\n",
+			r.Gen.Name, r.Gen.Year, r.Gen.PeakTFlops, r.Gen.ScaleOutGbps,
+			r.Gen.ScaleUpGBps, r.ComputeGrowth, r.ScaleOutGrowth)
+	}
+	return b.String()
+}
+
+// FormatFigure1 renders the latency-breakdown bar.
+func FormatFigure1(r Figure1Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Exposed latency breakdown, DCN on 64xH100 (model vs paper)\n")
+	fmt.Fprintf(&b, "%-28s %8s %8s\n", "Component", "Model%", "Paper%")
+	fmt.Fprintf(&b, "%-28s %8.1f %8.1f\n", "Compute", r.ComputePct, r.PaperComputePct)
+	fmt.Fprintf(&b, "%-28s %8.1f %8.1f\n", "Exposed Embedding Comm", r.EmbPct, r.PaperEmbPct)
+	fmt.Fprintf(&b, "%-28s %8.1f %8.1f\n", "Exposed Dense Sync", r.DensePct, r.PaperDensePct)
+	fmt.Fprintf(&b, "%-28s %8.1f %8s\n", "Others", r.OthersPct, "-")
+	return b.String()
+}
+
+// FormatFigure5 renders the collective-scalability curves.
+func FormatFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Achieved bus bandwidth vs scale (A100, 8 GPUs/host)\n")
+	fmt.Fprintf(&b, "%-14s %6s %12s %12s %8s\n", "Collective", "GPUs", "Model GB/s", "Paper GB/s", "Err%")
+	for _, r := range rows {
+		err := (r.ModelBusBW - r.PaperBusBW) / r.PaperBusBW * 100
+		fmt.Fprintf(&b, "%-14s %6d %12.1f %12.1f %+8.1f\n",
+			r.Collective, r.GPUs, r.ModelBusBW, r.PaperBusBW, err)
+	}
+	return b.String()
+}
+
+// FormatFigure6 renders the parallelism-search CDF summary.
+func FormatFigure6(r Figure6Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Parallelism search CDF, dense DLRM on 64xA100 (%d configs)\n",
+		len(r.Results))
+	fmt.Fprintf(&b, "Best mesh: dp=%d tp=%d pp=%d (data parallel: %v)\n",
+		r.BestMesh.DP, r.BestMesh.TP, r.BestMesh.PP, r.DataParallelIsBest)
+	fmt.Fprintf(&b, "%-10s %-16s %12s\n", "", "mesh(dp,tp,pp)", "iter ms")
+	show := []int{0, 1, 2, len(r.Results) / 2, len(r.Results) - 1}
+	labels := []string{"fastest", "2nd", "3rd", "median", "slowest"}
+	for i, idx := range show {
+		m := r.Results[idx]
+		fmt.Fprintf(&b, "%-10s (%d,%d,%d) %19.2f\n",
+			labels[i], m.Mesh.DP, m.Mesh.TP, m.Mesh.PP, m.Latency*1e3)
+	}
+	return b.String()
+}
+
+// FormatSpeedups renders Figure 10/11-style speedup grids.
+func FormatSpeedups(title string, rows []SpeedupRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s %-6s %6s %10s %10s\n", "Model", "GPU", "Scale", "Model×", "Paper×")
+	for _, r := range rows {
+		paper := "-"
+		if r.PaperSpeedup > 0 {
+			paper = fmt.Sprintf("%.1f", r.PaperSpeedup)
+		}
+		fmt.Fprintf(&b, "%-6s %-6s %6d %10.2f %10s\n", r.Model, r.Gen, r.GPUs, r.Speedup, paper)
+	}
+	return b.String()
+}
+
+// FormatFigure12 renders the compression-ratio ablation.
+func FormatFigure12(rows []Figure12Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: Compression ratio vs speedup of DMT 8T-DLRM over SPTT (64 GPUs)\n")
+	fmt.Fprintf(&b, "%-6s %6s %10s %10s\n", "GPU", "CR", "Model×", "Paper×")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %6.0f %10.2f %10.1f\n", r.Gen, r.CR, r.Speedup, r.PaperSpeedup)
+	}
+	return b.String()
+}
+
+// FormatFigure13 renders the component-latency comparison.
+func FormatFigure13(r Figure13Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: Component latency, DCN vs DMT-DCN on 64xH100 (ms)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "", "Compute", "EmbComm", "DenseSync", "Others")
+	fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %10.1f\n", "DCN",
+		r.DCN.Compute*1e3, r.DCN.ExposedEmb*1e3, r.DCN.ExposedDense*1e3, r.DCN.Others*1e3)
+	fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %10.1f\n", "DMT-DCN",
+		r.DMTDCN.Compute*1e3, r.DMTDCN.ExposedEmb*1e3, r.DMTDCN.ExposedDense*1e3, r.DMTDCN.Others*1e3)
+	fmt.Fprintf(&b, "paper:     compute 29.4 -> 21.8 (1.4x), emb 11.5 -> 2.5 (4.6x)\n")
+	fmt.Fprintf(&b, "model:     compute %.1f -> %.1f (%.1fx), emb %.1f -> %.1f (%.1fx)\n",
+		r.DCN.Compute*1e3, r.DMTDCN.Compute*1e3, r.ComputeImprovement,
+		r.DCN.ExposedEmb*1e3, r.DMTDCN.ExposedEmb*1e3, r.EmbImprovement)
+	return b.String()
+}
+
+// FormatTable2 renders the Strong Baseline comparison.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Baseline vs Strong Baseline (synthetic workload; epoch time modeled)\n")
+	fmt.Fprintf(&b, "%-26s %6s %8s %10s %10s %12s\n", "Config", "Batch", "AUC", "Epoch(h)", "PaperAUC", "PaperEpoch(h)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %6d %8.4f %10.2f %10.4f %12.2f\n",
+			r.Config, r.BatchSize, r.AUC, r.EpochHours, r.PaperAUC, r.PaperEpochHours)
+	}
+	return b.String()
+}
+
+// FormatQualityRows renders Table 3/4-style quality grids.
+func FormatQualityRows(title string, rows []QualityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-24s %9s %9s %10s %10s %9s  %s\n",
+		"Model", "AUC", "Std", "MFlops/s", "Params(M)", "PaperAUC", "Note")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %9.4f %9.4f %10.3f %10.3f %9.4f  %s\n",
+			r.Model, r.MedianAUC, r.StdAUC, r.MFlopsPerSample, r.ParamsMillions, r.PaperAUC, r.Note)
+	}
+	return b.String()
+}
+
+// FormatTable5 renders the compression-ratio AUC trade-off.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: AUC vs compression ratio, DMT 8T-DLRM\n")
+	fmt.Fprintf(&b, "%6s %4s %9s %9s %10s\n", "CR", "D", "AUC", "Std", "PaperAUC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.0f %4d %9.4f %9.4f %10.4f\n", r.CR, r.D, r.MedianAUC, r.StdAUC, r.PaperAUC)
+	}
+	return b.String()
+}
+
+// FormatTable6 renders the TP-vs-naive significance test.
+func FormatTable6(rows []Table6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: TP vs naive assignment (Mann-Whitney U)\n")
+	fmt.Fprintf(&b, "%-22s %9s %9s %9s %9s %9s %9s %9s\n",
+		"Config", "TP", "TP std", "Naive", "Nv std", "p-value", "PaperTP", "PaperNv")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+			r.Config, r.TPMedian, r.TPStd, r.NaiveMedian, r.NaiveStd, r.PValue, r.PaperTP, r.PaperNaive)
+	}
+	return b.String()
+}
+
+// FormatFigure9 renders the similarity matrix as an ASCII heatmap plus the
+// learned 2-D coordinates with tower labels.
+func FormatFigure9(r Figure9Result) string {
+	var b strings.Builder
+	im := r.Partition.Interaction
+	f := im.Dim(0)
+	groupOf := make([]int, f)
+	for t, g := range r.Groups {
+		for _, i := range g {
+			groupOf[i] = t
+		}
+	}
+	fmt.Fprintf(&b, "Figure 9: TP similarity matrix (coherent strategy) and 2D embedding\n")
+	fmt.Fprintf(&b, "source: %s\n", r.Source)
+	shades := []byte(" .:-=+*#%@")
+	for i := 0; i < f; i++ {
+		for j := 0; j < f; j++ {
+			v := im.At(i, j)
+			k := int(v * float32(len(shades)-1))
+			if k < 0 {
+				k = 0
+			}
+			if k >= len(shades) {
+				k = len(shades) - 1
+			}
+			b.WriteByte(shades[k])
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, " f%02d t%d\n", i, groupOf[i])
+	}
+	fmt.Fprintf(&b, "\nLearned 2D feature coordinates (feature: x, y, tower):\n")
+	for i := 0; i < f; i++ {
+		fmt.Fprintf(&b, "  f%02d: %+7.3f %+7.3f  t%d\n",
+			i, r.Partition.Coords.At(i, 0), r.Partition.Coords.At(i, 1), groupOf[i])
+	}
+	fmt.Fprintf(&b, "\nWithin-tower affinity %.4f vs cross-tower %.4f (TP/naive gain %.2fx)\n",
+		r.WithinAffinity, r.CrossAffinity, r.TPGain)
+	return b.String()
+}
+
+// FormatXLRM renders the XLRM-mini NE comparison.
+func FormatXLRM(r XLRMQualityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "XLRM-mini (§5.2.2): Normalized Entropy, category towers vs baseline\n")
+	fmt.Fprintf(&b, "Baseline NE %.4f, DMT NE %.4f, improvement %+.3f%% (paper: +%.2f%%)\n",
+		r.BaselineNE, r.DMTNE, r.ImprovementPct, r.PaperImprovementPct)
+	return b.String()
+}
+
+// FormatQuantQuality renders the quantized-communication quality study.
+func FormatQuantQuality(rows []QuantQualityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§6 quality side: embedding-comm precision vs model quality (DLRM)\n")
+	fmt.Fprintf(&b, "%-8s %9s %9s %10s\n", "Scheme", "AUC", "NE", "ΔNE")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %9.4f %9.4f %+10.4f\n", r.Scheme, r.AUC, r.NE, r.DeltaNE)
+	}
+	fmt.Fprintf(&b, "paper: FP8-quantizing XLRM costs 0.1%% NE without extensive tuning\n")
+	return b.String()
+}
+
+// FormatQuantXLRM renders the §6 quantization comparison.
+func FormatQuantXLRM(r QuantXLRMResult) string {
+	return fmt.Sprintf("§6: quantized DMT-XLRM over FP8 XLRM on 1024xH100: %.2fx (paper: up to %.1fx)\n",
+		r.Speedup, r.PaperSpeedup)
+}
+
+// FormatTowerHostsAblation renders the K-host-towers sweep.
+func FormatTowerHostsAblation(rows []TowerHostsAblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (§3.1.3): hosts per tower, DMT-DLRM on 512xA100\n")
+	fmt.Fprintf(&b, "%14s %12s\n", "hosts/tower", "iter ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%14d %12.2f\n", r.HostsPerTower, r.IterationMS)
+	}
+	return b.String()
+}

@@ -1,0 +1,298 @@
+// Package experiments contains one entry point per table and figure of the
+// paper's evaluation (§5) plus the §6 discussion experiments. Each entry
+// returns typed rows carrying both the reproduction's measurement and the
+// paper's reported value, so cmd/dmt-bench, the root benchmarks, and
+// EXPERIMENTS.md all render the same side-by-side comparison.
+package experiments
+
+import (
+	"dmt/internal/netsim"
+	"dmt/internal/parallel"
+	"dmt/internal/perfmodel"
+	"dmt/internal/topology"
+)
+
+// scales used across the throughput experiments (§5.3.1: 16–512 GPUs).
+var gpuScales = []int{16, 32, 64, 128, 256, 512}
+
+// v100MaxGPUs reflects the paper's footnote: the V100 cluster supports at
+// most 16 hosts (128 GPUs).
+const v100MaxGPUs = 128
+
+// Table1Row is one hardware generation (Table 1).
+type Table1Row struct {
+	Gen topology.Generation
+	// ComputeGrowth and ScaleOutGrowth are relative to V100.
+	ComputeGrowth  float64
+	ScaleOutGrowth float64
+}
+
+// Table1 reproduces the generational-upgrades table.
+func Table1() []Table1Row {
+	base := topology.V100
+	var rows []Table1Row
+	for _, g := range topology.Generations() {
+		rows = append(rows, Table1Row{
+			Gen:            g,
+			ComputeGrowth:  g.PeakTFlops / base.PeakTFlops,
+			ScaleOutGrowth: g.ScaleOutGbps / base.ScaleOutGbps,
+		})
+	}
+	return rows
+}
+
+// Figure1Result is the exposed-latency breakdown of DCN on 64×H100.
+type Figure1Result struct {
+	Breakdown perfmodel.Breakdown
+	// Percent shares in Figure 1's order; Paper* are the reported bars.
+	ComputePct, EmbPct, DensePct, OthersPct     float64
+	PaperComputePct, PaperEmbPct, PaperDensePct float64
+}
+
+// Figure1 reproduces the iteration-latency breakdown bar.
+func Figure1() Figure1Result {
+	c := topology.NewCluster(topology.H100, 64)
+	b := perfmodel.Iterate(perfmodel.DefaultConfig(perfmodel.DCNSpec(), c, perfmodel.Baseline))
+	comp, emb, dense, others := b.Percentages()
+	return Figure1Result{
+		Breakdown:  b,
+		ComputePct: comp, EmbPct: emb, DensePct: dense, OthersPct: others,
+		PaperComputePct: 70.4, PaperEmbPct: 27.5, PaperDensePct: 2.1,
+	}
+}
+
+// Figure5Row is one point of the collective-scalability curves.
+type Figure5Row struct {
+	Collective netsim.Collective
+	GPUs       int
+	ModelBusBW float64
+	PaperBusBW float64
+}
+
+// Figure5 reproduces the NCCL weak-scaling measurement (A100, 8 GPUs/host;
+// AllReduce @64MB, AlltoAll @256MB).
+func Figure5() []Figure5Row {
+	fabric := netsim.New(topology.A100)
+	var rows []Figure5Row
+	for _, coll := range []netsim.Collective{netsim.AllReduce, netsim.AlltoAll} {
+		model := fabric.Figure5Curve(coll)
+		paper := netsim.PaperFigure5(coll)
+		for i := range model {
+			rows = append(rows, Figure5Row{
+				Collective: coll,
+				GPUs:       model[i].GPUs,
+				ModelBusBW: model[i].BusBW,
+				PaperBusBW: paper[i].BusBW,
+			})
+		}
+	}
+	return rows
+}
+
+// Figure6Result is the parallelism-search CDF.
+type Figure6Result struct {
+	Results  []parallel.Result
+	BestMesh parallel.Mesh
+	// DataParallelIsBest is the paper's headline finding.
+	DataParallelIsBest bool
+}
+
+// Figure6 reproduces the Alpa search over the dense part of DLRM on 64
+// A100 GPUs.
+func Figure6() Figure6Result {
+	res := parallel.Search(parallel.DefaultSearchConfig())
+	return Figure6Result{
+		Results:            res,
+		BestMesh:           res[0].Mesh,
+		DataParallelIsBest: res[0].Mesh.IsDataParallel(),
+	}
+}
+
+// SpeedupRow is one bar of Figures 10 and 11.
+type SpeedupRow struct {
+	Model   string
+	Gen     string
+	GPUs    int
+	Speedup float64
+	// PaperSpeedup < 0 means the paper has no data point (V100 beyond its
+	// cluster limit).
+	PaperSpeedup float64
+}
+
+// paperFigure10 holds the published bars, indexed [model][gen][scale].
+var paperFigure10 = map[string]map[string][]float64{
+	"DLRM": {
+		"V100": {1.1, 1.2, 1.9, 1.9, -1, -1},
+		"A100": {0.9, 1.1, 1.9, 1.5, 1.6, 1.7},
+		"H100": {0.9, 0.9, 1.8, 1.8, 1.6, 1.7},
+	},
+	"DCN": {
+		"V100": {1.9, 1.8, 1.7, 1.2, -1, -1},
+		"A100": {1.4, 1.4, 1.8, 1.3, 1.2, 1.3},
+		"H100": {1.1, 1.1, 1.6, 1.2, 1.3, 1.4},
+	},
+}
+
+// Figure10 reproduces the end-to-end DMT speedups over the Strong Baseline
+// across generations and scales.
+func Figure10() []SpeedupRow {
+	var rows []SpeedupRow
+	for _, spec := range []perfmodel.ModelSpec{perfmodel.DLRMSpec(), perfmodel.DCNSpec()} {
+		for _, gen := range topology.Generations() {
+			for si, gpus := range gpuScales {
+				if gen.Name == "V100" && gpus > v100MaxGPUs {
+					continue
+				}
+				c := topology.NewCluster(gen, gpus)
+				s := perfmodel.Speedup(
+					perfmodel.DefaultConfig(spec, c, perfmodel.Baseline),
+					perfmodel.DefaultConfig(spec, c, perfmodel.DMT))
+				rows = append(rows, SpeedupRow{
+					Model: spec.Name, Gen: gen.Name, GPUs: gpus, Speedup: s,
+					PaperSpeedup: paperFigure10[spec.Name][gen.Name][si],
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// paperFigure11 holds the TM-over-SPTT bars (DLRM).
+var paperFigure11 = map[string][]float64{
+	"V100": {1.4, 1.3, 1.3, 1.4, -1, -1},
+	"A100": {1.3, 1.2, 1.2, 1.3, 1.2, 1.2},
+	"H100": {1.2, 1.2, 1.2, 1.2, 1.2, 1.2},
+}
+
+// Figure11 reproduces the tower-module-over-SPTT ablation on DLRM.
+func Figure11() []SpeedupRow {
+	spec := perfmodel.DLRMSpec()
+	var rows []SpeedupRow
+	for _, gen := range topology.Generations() {
+		for si, gpus := range gpuScales {
+			if gen.Name == "V100" && gpus > v100MaxGPUs {
+				continue
+			}
+			c := topology.NewCluster(gen, gpus)
+			s := perfmodel.Speedup(
+				perfmodel.DefaultConfig(spec, c, perfmodel.SPTT),
+				perfmodel.DefaultConfig(spec, c, perfmodel.DMT))
+			rows = append(rows, SpeedupRow{
+				Model: "DLRM", Gen: gen.Name, GPUs: gpus, Speedup: s,
+				PaperSpeedup: paperFigure11[gen.Name][si],
+			})
+		}
+	}
+	return rows
+}
+
+// Figure12Row is one bar of the compression-ratio ablation.
+type Figure12Row struct {
+	Gen          string
+	CR           float64
+	Speedup      float64 // DMT 8T over SPTT
+	PaperSpeedup float64
+}
+
+// paperFigure12 holds the published bars per generation and CR.
+var paperFigure12 = map[string][]float64{
+	"V100": {1.3, 1.7, 1.9, 2.0},
+	"A100": {1.2, 1.4, 1.6, 1.7},
+	"H100": {1.2, 1.4, 1.5, 1.6},
+}
+
+// Figure12 reproduces the effect of compression ratio on DMT 8T-DLRM's
+// speedup over SPTT (64 GPUs: 8 hosts, 8 towers).
+func Figure12() []Figure12Row {
+	spec := perfmodel.DLRMSpec()
+	crs := []float64{2, 4, 8, 16}
+	var rows []Figure12Row
+	for _, gen := range topology.Generations() {
+		c := topology.NewCluster(gen, 64)
+		sptt := perfmodel.DefaultConfig(spec, c, perfmodel.SPTT)
+		for i, cr := range crs {
+			dmt := perfmodel.DefaultConfig(spec, c, perfmodel.DMT)
+			dmt.CompressionRatio = cr
+			rows = append(rows, Figure12Row{
+				Gen: gen.Name, CR: cr,
+				Speedup:      perfmodel.Speedup(sptt, dmt),
+				PaperSpeedup: paperFigure12[gen.Name][i],
+			})
+		}
+	}
+	return rows
+}
+
+// Figure13Result compares component latencies of DCN and DMT-DCN on
+// 64×H100.
+type Figure13Result struct {
+	DCN, DMTDCN perfmodel.Breakdown
+	// Paper milliseconds: DCN compute 29.4 / emb 11.5; DMT 21.8 / 2.5;
+	// dense 1.2.
+	PaperDCNComputeMS, PaperDCNEmbMS   float64
+	PaperDMTComputeMS, PaperDMTEmbMS   float64
+	ComputeImprovement, EmbImprovement float64
+}
+
+// Figure13 reproduces the component-latency comparison.
+func Figure13() Figure13Result {
+	c := topology.NewCluster(topology.H100, 64)
+	spec := perfmodel.DCNSpec()
+	base := perfmodel.Iterate(perfmodel.DefaultConfig(spec, c, perfmodel.Baseline))
+	dmt := perfmodel.Iterate(perfmodel.DefaultConfig(spec, c, perfmodel.DMT))
+	r := Figure13Result{
+		DCN: base, DMTDCN: dmt,
+		PaperDCNComputeMS: 29.4, PaperDCNEmbMS: 11.5,
+		PaperDMTComputeMS: 21.8, PaperDMTEmbMS: 2.5,
+	}
+	r.ComputeImprovement = base.Compute / dmt.Compute
+	if dmt.ExposedEmb > 0 {
+		r.EmbImprovement = base.ExposedEmb / dmt.ExposedEmb
+	}
+	return r
+}
+
+// QuantXLRMResult is the §6 quantization discussion: FP8-quantized flat
+// XLRM versus quantized DMT-XLRM on 1024 H100 GPUs.
+type QuantXLRMResult struct {
+	Speedup      float64
+	PaperSpeedup float64 // "up to 1.2X"
+}
+
+// QuantXLRM reproduces the §6 comparison.
+func QuantXLRM() QuantXLRMResult {
+	c := topology.NewCluster(topology.H100, 1024)
+	spec := perfmodel.XLRMSpec()
+	base := perfmodel.DefaultConfig(spec, c, perfmodel.Baseline)
+	base.EmbBytesPerElem, base.GradBytesPerElem = 1, 1
+	dmt := perfmodel.DefaultConfig(spec, c, perfmodel.DMT)
+	dmt.EmbBytesPerElem, dmt.GradBytesPerElem = 1, 1
+	return QuantXLRMResult{
+		Speedup:      perfmodel.Speedup(base, dmt),
+		PaperSpeedup: 1.2,
+	}
+}
+
+// TowerHostsAblationRow quantifies the §3.1.3 K-host-towers trade-off:
+// assigning each tower K hosts shrinks the peer world by K× more but grows
+// the intra-tower collective beyond NVLink.
+type TowerHostsAblationRow struct {
+	HostsPerTower int
+	IterationMS   float64
+}
+
+// TowerHostsAblation sweeps K on DLRM over 512 A100 GPUs.
+func TowerHostsAblation() []TowerHostsAblationRow {
+	c := topology.NewCluster(topology.A100, 512)
+	spec := perfmodel.DLRMSpec()
+	var rows []TowerHostsAblationRow
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := perfmodel.DefaultConfig(spec, c, perfmodel.DMT)
+		cfg.Towers = c.Hosts / k
+		rows = append(rows, TowerHostsAblationRow{
+			HostsPerTower: k,
+			IterationMS:   perfmodel.Iterate(cfg).Total() * 1e3,
+		})
+	}
+	return rows
+}

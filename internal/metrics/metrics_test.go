@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfectRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []float32{0, 0, 1, 1}
+	if got := AUC(scores, labels); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+}
+
+func TestAUCInvertedRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float32{0, 0, 1, 1}
+	if got := AUC(scores, labels); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+}
+
+func TestAUCAllTied(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []float32{0, 1, 0, 1}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	if got := AUC([]float64{0.1, 0.9}, []float32{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v", got)
+	}
+}
+
+func TestAUCKnownMixedCase(t *testing.T) {
+	// scores: pos at 0.8 and 0.4; neg at 0.6 and 0.2.
+	// Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4 = 0.75.
+	scores := []float64{0.8, 0.4, 0.6, 0.2}
+	labels := []float32{1, 1, 0, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("mixed AUC = %v", got)
+	}
+}
+
+func TestAUCMatchesPairCounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		n := 30
+		scores := make([]float64, n)
+		labels := make([]float32, n)
+		for i := range scores {
+			scores[i] = math.Floor(rng.f64()*10) / 10 // coarse grid forces ties
+			if rng.f64() < 0.4 {
+				labels[i] = 1
+			}
+		}
+		got := AUC(scores, labels)
+		// Brute-force pair counting with ties counted as half.
+		var wins, ties, pairs float64
+		for i := 0; i < n; i++ {
+			if labels[i] < 0.5 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if labels[j] > 0.5 {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					ties++
+				}
+			}
+		}
+		if pairs == 0 {
+			return got == 0.5
+		}
+		want := (wins + ties/2) / pairs
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogLossKnown(t *testing.T) {
+	// p=0.5 everywhere -> log 2.
+	got := LogLoss([]float64{0.5, 0.5}, []float32{0, 1})
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("logloss = %v", got)
+	}
+	// Confident wrong prediction must be heavily penalized yet finite.
+	if ll := LogLoss([]float64{0}, []float32{1}); math.IsInf(ll, 0) || ll < 20 {
+		t.Fatalf("clamped logloss = %v", ll)
+	}
+}
+
+func TestNormalizedEntropy(t *testing.T) {
+	labels := []float32{1, 0, 1, 0}
+	// Predicting the background rate exactly gives NE = 1.
+	probs := []float64{0.5, 0.5, 0.5, 0.5}
+	if got := NormalizedEntropy(probs, labels); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NE at background = %v", got)
+	}
+	// Better-than-background predictions give NE < 1.
+	better := []float64{0.9, 0.1, 0.9, 0.1}
+	if got := NormalizedEntropy(better, labels); got >= 1 {
+		t.Fatalf("NE better = %v", got)
+	}
+	if !math.IsNaN(NormalizedEntropy([]float64{0.5}, []float32{1})) {
+		t.Fatal("NE with single-class labels must be NaN")
+	}
+}
+
+func TestMedianMeanStd(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Median(xs) != 2 {
+		t.Fatalf("median = %v", Median(xs))
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Mean(xs) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if math.Abs(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})-2.138089935) > 1e-6 {
+		t.Fatalf("std = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("std of singleton must be 0")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("median of empty must be NaN")
+	}
+}
+
+func TestMannWhitneyClearlySeparated(t *testing.T) {
+	a := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	u, p := MannWhitneyU(a, b)
+	if u != 81 {
+		t.Fatalf("U = %v, want 81", u)
+	}
+	if p > 0.001 {
+		t.Fatalf("p = %v, want < 0.001 for fully separated samples", p)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	a := []float64{5, 5, 5}
+	_, p := MannWhitneyU(a, a)
+	if p != 1 {
+		t.Fatalf("p = %v, want 1 for identical constant samples", p)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	a := []float64{1, 3, 5, 7, 9, 11, 13, 15, 17}
+	b := []float64{2, 4, 6, 8, 10, 12, 14, 16, 18}
+	_, pab := MannWhitneyU(a, b)
+	_, pba := MannWhitneyU(b, a)
+	if math.Abs(pab-pba) > 1e-12 {
+		t.Fatalf("p not symmetric: %v vs %v", pab, pba)
+	}
+	if pab < 0.5 {
+		t.Fatalf("interleaved samples should not be significant, p = %v", pab)
+	}
+}
+
+func TestMannWhitneyEmptyIsNaN(t *testing.T) {
+	if _, p := MannWhitneyU(nil, []float64{1}); !math.IsNaN(p) {
+		t.Fatal("empty sample must give NaN")
+	}
+}
+
+func TestMannWhitneyExactTinyCase(t *testing.T) {
+	// a = {1,2}, b = {3,4}: U = 0, the most extreme of C(4,2)=6 assignments
+	// together with its mirror: exact two-sided p = 2/6.
+	u, p := MannWhitneyU([]float64{1, 2}, []float64{3, 4})
+	if u != 0 {
+		t.Fatalf("U = %v, want 0", u)
+	}
+	if math.Abs(p-2.0/6.0) > 1e-12 {
+		t.Fatalf("exact p = %v, want 1/3", p)
+	}
+}
+
+func TestMannWhitneyExactFullSeparation9v9(t *testing.T) {
+	a := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	_, p := MannWhitneyU(a, b)
+	// Exactly 2 of C(18,9)=48620 assignments are this extreme.
+	want := 2.0 / 48620.0
+	if math.Abs(p-want)/want > 1e-9 {
+		t.Fatalf("exact p = %v, want %v", p, want)
+	}
+}
+
+func TestMannWhitneyExactAgreesWithNormalApprox(t *testing.T) {
+	// For moderate samples the exact and approximate p-values should land
+	// in the same neighborhood.
+	a := []float64{5, 7, 9, 11, 13, 15, 17, 19, 21}
+	b := []float64{4, 6, 8, 10, 12, 14, 16, 18, 20}
+	_, exact := MannWhitneyU(a, b)
+	_, approx := mannWhitneyUNormal(a, b)
+	if math.Abs(exact-approx) > 0.08 {
+		t.Fatalf("exact %v vs normal %v diverge", exact, approx)
+	}
+}
+
+func TestMannWhitneyLargeSamplesUseApproximation(t *testing.T) {
+	// 22 observations exceed the exact-enumeration cutoff; the call must
+	// still return a sane p-value.
+	a := make([]float64, 11)
+	b := make([]float64, 11)
+	for i := range a {
+		a[i] = float64(i) + 0.5
+		b[i] = float64(i)
+	}
+	_, p := MannWhitneyU(a, b)
+	if p <= 0 || p > 1 {
+		t.Fatalf("p = %v out of range", p)
+	}
+}
+
+func TestMannWhitneyPaperScale(t *testing.T) {
+	// Shape check mirroring Table 6: 9 runs each, TP slightly but
+	// consistently above naive, p should be well under 0.05.
+	tp := []float64{0.7988, 0.7990, 0.7991, 0.7989, 0.7990, 0.7992, 0.7990, 0.7991, 0.7989}
+	naive := []float64{0.7979, 0.7981, 0.7982, 0.7980, 0.7981, 0.7983, 0.7981, 0.7980, 0.7982}
+	_, p := MannWhitneyU(tp, naive)
+	if p > 0.01 {
+		t.Fatalf("p = %v, want strong significance for consistent separation", p)
+	}
+}
+
+// Tiny deterministic RNG local to the tests (avoids importing tensor).
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{seed} }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) f64() float64 { return float64(r.next()>>11) / float64(1<<53) }

@@ -1,0 +1,248 @@
+// Package netsim is the collective-performance model of the reproduction:
+// given a hardware generation, a collective type, a world size, and how the
+// world's ranks are spread over hosts, it predicts achieved bus bandwidth
+// and wall-clock time.
+//
+// The model is calibrated against the paper's own NCCL measurements
+// (Figure 5: AllReduce@64MB and AlltoAll@256MB on 8–512 A100 GPUs, 8 GPUs
+// per host) and scaled to other generations by the Table 1 bandwidth ratios:
+//
+//   - Intra-host collectives achieve a fixed fraction of scale-up (NVLink)
+//     bandwidth (155/300 for AlltoAll, 163/300 for AllReduce on A100).
+//   - Cross-host AlltoAll time is the max of the overlapped NVLink and RDMA
+//     transfer times, degraded by a congestion efficiency η(hosts) fitted to
+//     Figure 5. η is what makes "same volume, smaller world" faster — the
+//     property SPTT's peer AlltoAlls exploit (§3.1.2).
+//   - Cross-host AllReduce bus bandwidth follows the measured Figure 5 curve
+//     directly, scaled by the generation's NIC ratio.
+//
+// All bandwidths are in GB/s (1e9 bytes/s); times are in seconds.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"dmt/internal/topology"
+)
+
+// Collective enumerates the modeled collective types.
+type Collective int
+
+// Modeled collectives.
+const (
+	AllReduce Collective = iota
+	AlltoAll
+	ReduceScatter
+	AllGather
+)
+
+// String names the collective.
+func (c Collective) String() string {
+	switch c {
+	case AllReduce:
+		return "AllReduce"
+	case AlltoAll:
+		return "AlltoAll"
+	case ReduceScatter:
+		return "ReduceScatter"
+	case AllGather:
+		return "AllGather"
+	default:
+		return fmt.Sprintf("Collective(%d)", int(c))
+	}
+}
+
+// Calibration constants (A100 reference, from Figure 5).
+const (
+	// intraEffAlltoAll is achieved intra-host AlltoAll busbw / scale-up BW:
+	// 155 GB/s over 300 GB/s NVLink on A100.
+	intraEffAlltoAll = 155.0 / 300.0
+	// intraEffAllReduce: 163 GB/s over 300 GB/s.
+	intraEffAllReduce = 163.0 / 300.0
+	// alphaLatency is the per-hop latency of a collective step (seconds).
+	alphaLatency = 18e-6
+)
+
+// etaPoint is one calibrated congestion-efficiency sample.
+type etaPoint struct {
+	hosts int
+	eta   float64
+}
+
+// a2aEta is the cross-host AlltoAll congestion efficiency, indexed by the
+// collective's WORLD SIZE (rank count), fitted so the model reproduces
+// Figure 5's AlltoAll curve on A100 at its calibration points (world =
+// 8 × hosts there). Indexing by world size rather than hosts reflects that
+// the degradation is a per-rank protocol effect — n−1 destinations, chunk
+// fragmentation, straggler tails — which is exactly the §3.1.2 property
+// SPTT exploits by shrinking the peer AlltoAll world by L×. Points below
+// world 16 are unmeasured small-world extrapolations.
+var a2aEta = []etaPoint{
+	{2, 0.96}, {4, 0.90}, {8, 0.86}, {16, 0.81}, {32, 0.74}, {64, 0.57},
+	{128, 0.60}, {256, 0.58}, {512, 0.51},
+}
+
+// arBusBWA100 is the measured Figure 5 AllReduce bus bandwidth (GB/s) on
+// A100 versus world size at 8 GPUs per host.
+var arBusBWA100 = []etaPoint{
+	{8, 163}, {16, 134}, {32, 111}, {64, 91}, {128, 81}, {256, 74}, {512, 65},
+}
+
+// interpLog2 interpolates a monotone-sampled curve in log2(x) space, with
+// flat extension below the first point and geometric decay (last ratio per
+// doubling) above the last point.
+func interpLog2(points []etaPoint, x float64) float64 {
+	if x <= float64(points[0].hosts) {
+		return points[0].eta
+	}
+	last := points[len(points)-1]
+	if x >= float64(last.hosts) {
+		prev := points[len(points)-2]
+		ratio := last.eta / prev.eta
+		doublings := math.Log2(x / float64(last.hosts))
+		decay := math.Pow(ratio, doublings)
+		return last.eta * decay
+	}
+	lx := math.Log2(x)
+	for i := 1; i < len(points); i++ {
+		lo, hi := points[i-1], points[i]
+		if x <= float64(hi.hosts) {
+			l0, l1 := math.Log2(float64(lo.hosts)), math.Log2(float64(hi.hosts))
+			t := (lx - l0) / (l1 - l0)
+			return lo.eta + t*(hi.eta-lo.eta)
+		}
+	}
+	return last.eta
+}
+
+// Fabric predicts collective performance for one hardware generation.
+type Fabric struct {
+	Gen         topology.Generation
+	GPUsPerHost int
+	// Alpha is the per-hop latency (seconds); zero disables latency.
+	Alpha float64
+}
+
+// New returns a fabric for the generation with 8 GPUs per host and the
+// default latency constant.
+func New(gen topology.Generation) *Fabric {
+	return &Fabric{Gen: gen, GPUsPerHost: 8, Alpha: alphaLatency}
+}
+
+// nicScale is this generation's scale-out bandwidth relative to the A100
+// reference the curves were calibrated on.
+func (f *Fabric) nicScale() float64 { return f.Gen.ScaleOutGBps() / topology.A100.ScaleOutGBps() }
+
+// nvlinkScale is the scale-up ratio relative to A100.
+func (f *Fabric) nvlinkScale() float64 { return f.Gen.ScaleUpGBps / topology.A100.ScaleUpGBps }
+
+// BusBW returns the achieved bus bandwidth (GB/s) of a collective over
+// world ranks spread ranksPerHost per host. Bus bandwidth follows NCCL's
+// convention: it is the size-independent figure of merit; latency is added
+// separately by Time.
+func (f *Fabric) BusBW(coll Collective, world, ranksPerHost int) float64 {
+	if world < 1 || ranksPerHost < 1 || ranksPerHost > world {
+		panic(fmt.Sprintf("netsim: bad world %d / ranksPerHost %d", world, ranksPerHost))
+	}
+	if world == 1 {
+		return math.Inf(1)
+	}
+	hosts := float64(world) / float64(ranksPerHost)
+	switch coll {
+	case AlltoAll:
+		if ranksPerHost == world { // single host: pure NVLink
+			return intraEffAlltoAll * f.Gen.ScaleUpGBps
+		}
+		return f.alltoallCrossBusBW(world, ranksPerHost)
+	case AllReduce, ReduceScatter, AllGather:
+		if ranksPerHost == world {
+			return intraEffAllReduce * f.Gen.ScaleUpGBps
+		}
+		// Measured A100 curve (indexed by world size at 8 ranks/host),
+		// scaled by the NIC ratio. For sparser layouts (ranksPerHost < 8)
+		// index by the equivalent 8-per-host world spanning as many hosts.
+		eqWorld := hosts * 8
+		return interpLog2(arBusBWA100, eqWorld) * f.nicScale()
+	default:
+		panic("netsim: unknown collective " + coll.String())
+	}
+}
+
+// alltoallCrossBusBW implements the overlap model: cross-host chunks ride
+// the per-GPU NIC, intra-host chunks ride NVLink, the two overlap, and the
+// result is degraded by the fitted congestion efficiency η(world).
+func (f *Fabric) alltoallCrossBusBW(world, ranksPerHost int) float64 {
+	n := float64(world)
+	bwCross := f.Gen.ScaleOutGBps()
+	bwIntra := intraEffAlltoAll * f.Gen.ScaleUpGBps
+	crossChunks := n - float64(ranksPerHost)
+	intraChunks := float64(ranksPerHost) - 1
+	// Per unit of send-buffer size S: each chunk is S/n.
+	crossTime := crossChunks / n / bwCross
+	intraTime := intraChunks / n / bwIntra
+	perByte := math.Max(crossTime, intraTime)
+	ideal := (n - 1) / n / perByte
+	eta := interpLog2(a2aEta, n)
+	if ranksPerHost == 1 {
+		// Sparse layout (one rank per host — SPTT's peer AlltoAlls): each
+		// rank owns its NIC outright, so the congestion component of the
+		// degradation is roughly halved in log space. The calibration
+		// points (8 ranks/host) are unaffected.
+		eta = math.Sqrt(eta)
+	}
+	return ideal * eta
+}
+
+// Time returns the predicted wall-clock seconds for a collective moving
+// bytes per rank.
+func (f *Fabric) Time(coll Collective, world, ranksPerHost int, bytes int) float64 {
+	if world == 1 {
+		return 0
+	}
+	bw := f.BusBW(coll, world, ranksPerHost) * 1e9
+	n := float64(world)
+	var factor float64
+	switch coll {
+	case AllReduce:
+		factor = 2 * (n - 1) / n
+	case AlltoAll, ReduceScatter, AllGather:
+		factor = (n - 1) / n
+	}
+	latency := f.Alpha * math.Ceil(math.Log2(n))
+	return latency + float64(bytes)*factor/bw
+}
+
+// Figure5Point is one (world size, bus bandwidth) sample of the scalability
+// curve, used to regenerate Figure 5.
+type Figure5Point struct {
+	GPUs  int
+	BusBW float64
+}
+
+// Figure5Curve computes the modeled weak-scaling curve for a collective on
+// this fabric at the paper's world sizes (8–512 GPUs, 8 GPUs/host).
+func (f *Fabric) Figure5Curve(coll Collective) []Figure5Point {
+	var out []Figure5Point
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
+		rph := f.GPUsPerHost
+		if n < rph {
+			rph = n
+		}
+		out = append(out, Figure5Point{GPUs: n, BusBW: f.BusBW(coll, n, rph)})
+	}
+	return out
+}
+
+// PaperFigure5 returns the paper's measured A100 values for comparison in
+// tests and EXPERIMENTS.md.
+func PaperFigure5(coll Collective) []Figure5Point {
+	switch coll {
+	case AllReduce:
+		return []Figure5Point{{8, 163}, {16, 134}, {32, 111}, {64, 91}, {128, 81}, {256, 74}, {512, 65}}
+	case AlltoAll:
+		return []Figure5Point{{8, 155}, {16, 38}, {32, 24}, {64, 16}, {128, 16}, {256, 15}, {512, 13}}
+	default:
+		return nil
+	}
+}

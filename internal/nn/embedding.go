@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+
+	"dmt/internal/tensor"
+)
+
+// PoolMode selects how multi-hot lookups are pooled into one vector.
+type PoolMode int
+
+// Pooling modes for EmbeddingBag.
+const (
+	PoolSum PoolMode = iota
+	PoolMean
+)
+
+// EmbeddingBag is a pooled embedding table, the sparse component of
+// recommendation models (§2.1). A lookup takes, per sample, a bag of row
+// indices (single-hot bags have length 1) and returns the pooled embedding.
+// Gradients are sparse: Backward returns the touched rows and their
+// gradients, coalesced, which is what SparseAdam and the model-parallel
+// gradient routing consume.
+type EmbeddingBag struct {
+	Name string
+	Rows int
+	Dim  int
+	Mode PoolMode
+	// Table is the (Rows, Dim) weight matrix. It is deliberately not a Param:
+	// embedding tables are trained model-parallel with sparse updates, never
+	// through the dense optimizer path (§2.2).
+	Table *tensor.Tensor
+
+	lastIndices []int32
+	lastOffsets []int32
+}
+
+// NewEmbeddingBag creates a table initialized U(-1/Rows, 1/Rows), the
+// standard DLRM initialization.
+func NewEmbeddingBag(r *tensor.RNG, rows, dim int, mode PoolMode, name string) *EmbeddingBag {
+	bound := 1.0 / float64(rows)
+	return &EmbeddingBag{
+		Name:  name,
+		Rows:  rows,
+		Dim:   dim,
+		Mode:  mode,
+		Table: tensor.RandUniform(r, -bound, bound, rows, dim),
+	}
+}
+
+// Forward pools rows for each bag. offsets has one entry per sample giving
+// the start of its bag in indices; sample i's bag is
+// indices[offsets[i]:offsets[i+1]] (the last bag extends to len(indices)).
+// Returns a (numBags, Dim) tensor. Empty bags pool to zero.
+func (e *EmbeddingBag) Forward(indices, offsets []int32) *tensor.Tensor {
+	nbags := len(offsets)
+	out := tensor.New(nbags, e.Dim)
+	for b := 0; b < nbags; b++ {
+		lo, hi := e.bagBounds(indices, offsets, b)
+		if lo == hi {
+			continue
+		}
+		dst := out.Row(b)
+		for _, idx := range indices[lo:hi] {
+			if int(idx) < 0 || int(idx) >= e.Rows {
+				panic(fmt.Sprintf("nn: embedding %q index %d out of range [0,%d)", e.Name, idx, e.Rows))
+			}
+			src := e.Table.Row(int(idx))
+			for d := 0; d < e.Dim; d++ {
+				dst[d] += src[d]
+			}
+		}
+		if e.Mode == PoolMean {
+			inv := float32(1) / float32(hi-lo)
+			for d := 0; d < e.Dim; d++ {
+				dst[d] *= inv
+			}
+		}
+	}
+	e.lastIndices = indices
+	e.lastOffsets = offsets
+	return out
+}
+
+func (e *EmbeddingBag) bagBounds(indices, offsets []int32, b int) (int, int) {
+	lo := int(offsets[b])
+	hi := len(indices)
+	if b+1 < len(offsets) {
+		hi = int(offsets[b+1])
+	}
+	return lo, hi
+}
+
+// SparseGrad is a coalesced sparse gradient for an embedding table:
+// row Rows[i] receives gradient Grads.Row(i). Rows are sorted ascending.
+type SparseGrad struct {
+	Rows  []int
+	Grads *tensor.Tensor // (len(Rows), dim)
+}
+
+// Backward converts the pooled-output gradient dY (numBags, Dim) into a
+// coalesced sparse gradient over table rows.
+func (e *EmbeddingBag) Backward(dy *tensor.Tensor) *SparseGrad {
+	if e.lastOffsets == nil {
+		panic("nn: EmbeddingBag.Backward before Forward")
+	}
+	acc := make(map[int][]float32)
+	for b := 0; b < len(e.lastOffsets); b++ {
+		lo, hi := e.bagBounds(e.lastIndices, e.lastOffsets, b)
+		if lo == hi {
+			continue
+		}
+		g := dy.Row(b)
+		scale := float32(1)
+		if e.Mode == PoolMean {
+			scale = 1 / float32(hi-lo)
+		}
+		for _, idx := range e.lastIndices[lo:hi] {
+			row := acc[int(idx)]
+			if row == nil {
+				row = make([]float32, e.Dim)
+				acc[int(idx)] = row
+			}
+			for d := 0; d < e.Dim; d++ {
+				row[d] += scale * g[d]
+			}
+		}
+	}
+	rows := make([]int, 0, len(acc))
+	for r := range acc {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	grads := tensor.New(len(rows), e.Dim)
+	for i, r := range rows {
+		copy(grads.Row(i), acc[r])
+	}
+	return &SparseGrad{Rows: rows, Grads: grads}
+}
+
+// LookupRows returns the raw (un-pooled) embeddings for a flat index list,
+// shape (len(idx), Dim). Used by the Tower Partitioner's interaction probe
+// and by the SPTT dataflow, which looks up per-feature embeddings directly.
+func (e *EmbeddingBag) LookupRows(idx []int32) *tensor.Tensor {
+	out := tensor.New(len(idx), e.Dim)
+	for i, ix := range idx {
+		copy(out.Row(i), e.Table.Row(int(ix)))
+	}
+	return out
+}
+
+// ApplySparseSGD applies a plain SGD update for a sparse gradient:
+// row -= lr * grad. Exposed for the distributed trainer, whose embedding
+// updates happen on the owning rank.
+func (e *EmbeddingBag) ApplySparseSGD(g *SparseGrad, lr float32) {
+	for i, r := range g.Rows {
+		tensor.AXPY(-lr, g.Grads.Row(i), e.Table.Row(r))
+	}
+}
+
+// ParamCount returns the number of scalars in the table.
+func (e *EmbeddingBag) ParamCount() int { return e.Rows * e.Dim }

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"testing"
+
+	"dmt/internal/tensor"
+)
+
+func TestParamLifecycle(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice([]float32{1, 2}, 2))
+	if p.NumElements() != 2 {
+		t.Fatalf("NumElements = %d", p.NumElements())
+	}
+	p.Grad.Data()[0] = 5
+	p.ZeroGrad()
+	if p.Grad.Data()[0] != 0 {
+		t.Fatal("ZeroGrad must clear")
+	}
+	if p.Grad.Len() != p.Value.Len() {
+		t.Fatal("grad shape must match value")
+	}
+}
+
+func TestMLPOutDimAndDepth(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m := NewMLP(r, 8, []int{16, 4}, false, "m")
+	if m.OutDim() != 4 {
+		t.Fatalf("OutDim = %d", m.OutDim())
+	}
+	if len(m.Layers) != 2 {
+		t.Fatalf("layers = %d", len(m.Layers))
+	}
+}
+
+func TestCrossNetLayerCount(t *testing.T) {
+	c := NewCrossNet(tensor.NewRNG(2), 4, 3, "c")
+	if c.Layers() != 3 {
+		t.Fatalf("Layers = %d", c.Layers())
+	}
+	if len(c.Params()) != 6 {
+		t.Fatalf("params = %d, want W+b per layer", len(c.Params()))
+	}
+}
+
+func TestLinearBackwardBeforeForwardPanics(t *testing.T) {
+	l := NewLinear(tensor.NewRNG(3), 2, 2, "l")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Backward(tensor.New(1, 2))
+}
+
+func TestDotInteractionOutDim(t *testing.T) {
+	d := &DotInteraction{}
+	if d.OutDim(27) != 27*26/2 {
+		t.Fatalf("OutDim(27) = %d", d.OutDim(27))
+	}
+	if d.OutDim(1) != 0 {
+		t.Fatal("single feature has no pairs")
+	}
+}
+
+func TestGradientAccumulationAcrossCalls(t *testing.T) {
+	// Two backward passes without ZeroGrad must accumulate (the contract
+	// the distributed trainer's gradient averaging relies on).
+	r := tensor.NewRNG(4)
+	l := NewLinear(r, 2, 1, "l")
+	x := tensor.FromSlice([]float32{1, 2}, 1, 2)
+	dy := tensor.FromSlice([]float32{1}, 1, 1)
+	l.Forward(x)
+	l.Backward(dy)
+	once := l.W.Grad.Clone()
+	l.Forward(x)
+	l.Backward(dy)
+	for i, v := range l.W.Grad.Data() {
+		if v != 2*once.Data()[i] {
+			t.Fatal("gradients must accumulate across backward calls")
+		}
+	}
+}
+
+func TestSGDZeroGradNoMovement(t *testing.T) {
+	p := NewParam("p", tensor.FromSlice([]float32{1}, 1))
+	NewSGD(10, 0.9).Step([]*Param{p})
+	if p.Value.Data()[0] != 1 {
+		t.Fatal("zero gradient must not move the parameter")
+	}
+}
+
+func TestAdamDistinctParamsIndependentState(t *testing.T) {
+	a := NewParam("a", tensor.FromSlice([]float32{0}, 1))
+	b := NewParam("b", tensor.FromSlice([]float32{0}, 1))
+	opt := NewAdam(0.1)
+	a.Grad.Data()[0] = 1
+	opt.Step([]*Param{a, b})
+	if a.Value.Data()[0] == 0 {
+		t.Fatal("param with gradient must move")
+	}
+	if b.Value.Data()[0] != 0 {
+		t.Fatal("param without gradient must not move")
+	}
+}

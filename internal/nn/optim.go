@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"math"
+
+	"dmt/internal/tensor"
+)
+
+// Optimizer updates dense parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to each parameter.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum == 0 {
+			tensor.AXPY(-o.LR, p.Grad.Data(), p.Value.Data())
+			continue
+		}
+		v := o.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			o.velocity[p] = v
+		}
+		vd, gd, wd := v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range vd {
+			vd[i] = o.Momentum*vd[i] + gd[i]
+			wd[i] -= o.LR * vd[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer, the paper's choice for both the Strong
+// Baseline and DMT models (§5.1) and for the Tower Partitioner's MDS solve
+// (§3.3).
+type Adam struct {
+	LR    float32
+	Beta1 float32
+	Beta2 float32
+	Eps   float32
+	t     int
+	m, v  map[*Param]*tensor.Tensor
+}
+
+// NewAdam returns Adam with the standard (0.9, 0.999, 1e-8) defaults.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one bias-corrected Adam update.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - float64(math.Pow(float64(o.Beta1), float64(o.t)))
+	bc2 := 1 - float64(math.Pow(float64(o.Beta2), float64(o.t)))
+	for _, p := range params {
+		m := o.m[p]
+		if m == nil {
+			m = tensor.New(p.Value.Shape()...)
+			o.m[p] = m
+		}
+		v := o.v[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			o.v[p] = v
+		}
+		md, vd, gd, wd := m.Data(), v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range gd {
+			g := gd[i]
+			md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
+			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
+			mhat := float64(md[i]) / bc1
+			vhat := float64(vd[i]) / bc2
+			wd[i] -= o.LR * float32(mhat/(math.Sqrt(vhat)+float64(o.Eps)))
+		}
+	}
+}
+
+// SparseAdam is Adam specialized for embedding tables: moment state is kept
+// per table row and only touched rows are updated ("lazy" semantics, as in
+// PyTorch's SparseAdam / TorchRec fused optimizers). Bias correction uses a
+// per-row step count so rarely-touched rows are not over-corrected.
+type SparseAdam struct {
+	LR    float32
+	Beta1 float32
+	Beta2 float32
+	Eps   float32
+
+	state map[*EmbeddingBag]*sparseAdamState
+}
+
+type sparseAdamState struct {
+	m, v  *tensor.Tensor
+	steps []int
+}
+
+// NewSparseAdam returns a SparseAdam with standard defaults.
+func NewSparseAdam(lr float32) *SparseAdam {
+	return &SparseAdam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		state: make(map[*EmbeddingBag]*sparseAdamState)}
+}
+
+// Step applies the sparse gradient g to table e.
+func (o *SparseAdam) Step(e *EmbeddingBag, g *SparseGrad) {
+	st := o.state[e]
+	if st == nil {
+		st = &sparseAdamState{
+			m:     tensor.New(e.Rows, e.Dim),
+			v:     tensor.New(e.Rows, e.Dim),
+			steps: make([]int, e.Rows),
+		}
+		o.state[e] = st
+	}
+	for i, row := range g.Rows {
+		st.steps[row]++
+		t := st.steps[row]
+		bc1 := 1 - math.Pow(float64(o.Beta1), float64(t))
+		bc2 := 1 - math.Pow(float64(o.Beta2), float64(t))
+		md, vd := st.m.Row(row), st.v.Row(row)
+		gd := g.Grads.Row(i)
+		wd := e.Table.Row(row)
+		for d := range gd {
+			gv := gd[d]
+			md[d] = o.Beta1*md[d] + (1-o.Beta1)*gv
+			vd[d] = o.Beta2*vd[d] + (1-o.Beta2)*gv*gv
+			mhat := float64(md[d]) / bc1
+			vhat := float64(vd[d]) / bc2
+			wd[d] -= o.LR * float32(mhat/(math.Sqrt(vhat)+float64(o.Eps)))
+		}
+	}
+}
+
+// ExponentialLR decays a base learning rate by gamma every stepSize steps —
+// the "tuned learning rate schedule" attached to the Strong Baseline (§5.1)
+// in simplified form.
+type ExponentialLR struct {
+	Base     float32
+	Gamma    float64
+	StepSize int
+}
+
+// At returns the learning rate for global step t.
+func (s ExponentialLR) At(t int) float32 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	k := t / s.StepSize
+	return s.Base * float32(math.Pow(s.Gamma, float64(k)))
+}

@@ -1,0 +1,180 @@
+// Package parallel reproduces the paper's Figure 6 experiment: an
+// Alpa-style enumeration of parallelism strategies for the dense part of a
+// recommendation model, showing that plain data parallelism is the fastest
+// point in the search space — which is why hybrid parallelism (model-
+// parallel embeddings + data-parallel dense) is near-optimal and why the
+// paper argues the model itself must change (§2.4).
+//
+// The search enumerates (dp, tp, pp) logical meshes with dp·tp·pp = G and
+// costs each configuration:
+//
+//   - compute splits perfectly across all GPUs (optimistic for tp/pp, which
+//     only strengthens the conclusion);
+//   - tensor parallelism pays two activation AllReduces per layer within
+//     tp-sized groups;
+//   - pipeline parallelism pays the classic bubble (pp−1)/(m+pp−1) plus
+//     point-to-point activation transfers;
+//   - data parallelism pays the gradient AllReduce over dp-sized groups;
+//   - the sparse component's global AlltoAlls are invariant across dense
+//     strategies and added to every configuration.
+package parallel
+
+import (
+	"sort"
+
+	"dmt/internal/netsim"
+	"dmt/internal/perfmodel"
+	"dmt/internal/topology"
+)
+
+// Mesh is one point of the search space.
+type Mesh struct {
+	DP, TP, PP int
+}
+
+// IsDataParallel reports whether the mesh is the pure-DP configuration.
+func (m Mesh) IsDataParallel() bool { return m.TP == 1 && m.PP == 1 }
+
+// Enumerate lists all (dp, tp, pp) factorizations of gpus.
+func Enumerate(gpus int) []Mesh {
+	var out []Mesh
+	for dp := 1; dp <= gpus; dp++ {
+		if gpus%dp != 0 {
+			continue
+		}
+		rest := gpus / dp
+		for tp := 1; tp <= rest; tp++ {
+			if rest%tp != 0 {
+				continue
+			}
+			out = append(out, Mesh{DP: dp, TP: tp, PP: rest / tp})
+		}
+	}
+	return out
+}
+
+// SearchConfig parameterizes the Figure 6 study: DLRM's dense part on 64
+// A100 GPUs at the evaluation batch size.
+type SearchConfig struct {
+	Model      perfmodel.ModelSpec
+	Cluster    topology.Cluster
+	LocalBatch int
+	// DenseLayers approximates the dense network depth (activation
+	// AllReduce count for tp; stage count granularity for pp).
+	DenseLayers int
+	// ActivationBytesPerSample is the per-layer activation footprint.
+	ActivationBytesPerSample int
+	// MicroBatches for pipeline execution.
+	MicroBatches int
+}
+
+// DefaultSearchConfig mirrors the paper's setup (DLRM, 64 A100s).
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		Model:                    perfmodel.DLRMSpec(),
+		Cluster:                  topology.NewCluster(topology.A100, 64),
+		LocalBatch:               16 * 1024,
+		DenseLayers:              8,
+		ActivationBytesPerSample: 512 * 4,
+		MicroBatches:             8,
+	}
+}
+
+// Result is one costed configuration.
+type Result struct {
+	Mesh    Mesh
+	Latency float64 // seconds per iteration
+}
+
+// IterationLatency costs one mesh.
+func IterationLatency(cfg SearchConfig, m Mesh) float64 {
+	g := cfg.Cluster.GPUs()
+	l := cfg.Cluster.GPUsPerHost
+	fabric := netsim.New(cfg.Cluster.Gen)
+	globalBatch := cfg.LocalBatch * g
+
+	// Dense compute: the global batch's flops spread over all GPUs
+	// regardless of how the mesh slices them (perfect-split optimism).
+	eff := effectiveTFlops(cfg.Cluster.Gen)
+	compute := cfg.Model.MFlopsPerSample * 1e6 * float64(globalBatch) / float64(g) / (eff * 1e12)
+
+	// Tensor parallelism: 2 AllReduces per layer over tp ranks of the
+	// per-rank activation slab.
+	var tpComm float64
+	if m.TP > 1 {
+		perRankSamples := globalBatch / m.DP / m.PP
+		actBytes := perRankSamples * cfg.ActivationBytesPerSample
+		rph := m.TP
+		if rph > l {
+			rph = l
+		}
+		tpComm = float64(2*cfg.DenseLayers) * fabric.Time(netsim.AllReduce, m.TP, rph, actBytes)
+	}
+
+	// Pipeline parallelism: bubble over the compute, plus stage-boundary
+	// activation sends (costed as 1/tp'th of an AllReduce between stages).
+	var ppOverhead float64
+	if m.PP > 1 {
+		bubble := float64(m.PP-1) / float64(cfg.MicroBatches+m.PP-1)
+		ppOverhead = compute * bubble
+		perRankSamples := globalBatch / m.DP
+		actBytes := perRankSamples * cfg.ActivationBytesPerSample
+		ppOverhead += float64(m.PP-1) * float64(actBytes) / (cfg.Cluster.Gen.ScaleOutGBps() * 1e9)
+	}
+
+	// Data parallelism: gradient AllReduce of the dense bytes shard.
+	var dpComm float64
+	if m.DP > 1 {
+		shard := int(cfg.Model.DenseBytes) / (m.TP * m.PP)
+		rph := l
+		if m.DP < l {
+			rph = m.DP
+		}
+		dpComm = fabric.Time(netsim.AllReduce, m.DP, rph, shard)
+	}
+
+	// Sparse component: invariant global AlltoAlls (fwd fp32 + bwd fp16).
+	embBytes := cfg.Model.EmbElemsPerSample * cfg.LocalBatch * 4
+	gradBytes := cfg.Model.EmbElemsPerSample * cfg.LocalBatch * 2
+	sparse := fabric.Time(netsim.AlltoAll, g, l, embBytes) +
+		fabric.Time(netsim.AlltoAll, g, l, gradBytes)
+
+	return compute + tpComm + ppOverhead + dpComm + sparse
+}
+
+// effectiveTFlops mirrors perfmodel's calibration (not exported there; the
+// duplication is one switch statement and keeps the packages decoupled).
+func effectiveTFlops(gen topology.Generation) float64 {
+	switch gen.Name {
+	case "V100":
+		return 7.85
+	case "A100":
+		return 39.0
+	case "H100":
+		return 53.6
+	default:
+		return gen.PeakTFlops * 0.25
+	}
+}
+
+// Search costs every mesh and returns results sorted by latency (the CDF's
+// x-axis order).
+func Search(cfg SearchConfig) []Result {
+	meshes := Enumerate(cfg.Cluster.GPUs())
+	out := make([]Result, 0, len(meshes))
+	for _, m := range meshes {
+		out = append(out, Result{Mesh: m, Latency: IterationLatency(cfg, m)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Latency < out[j].Latency })
+	return out
+}
+
+// CDF converts sorted results into (latency, cumulative fraction) pairs.
+func CDF(results []Result) (latencies []float64, fractions []float64) {
+	n := len(results)
+	for i, r := range results {
+		latencies = append(latencies, r.Latency)
+		fractions = append(fractions, float64(i+1)/float64(n))
+	}
+	return latencies, fractions
+}

@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEnumerateCountsFactorizations(t *testing.T) {
+	// 64 = 2^6: number of (dp,tp,pp) ordered factorizations is C(6+2,2)=28.
+	meshes := Enumerate(64)
+	if len(meshes) != 28 {
+		t.Fatalf("got %d meshes for 64 GPUs, want 28", len(meshes))
+	}
+	for _, m := range meshes {
+		if m.DP*m.TP*m.PP != 64 {
+			t.Fatalf("mesh %+v does not multiply to 64", m)
+		}
+	}
+}
+
+func TestDataParallelWinsTheSearch(t *testing.T) {
+	// The paper's Figure 6 conclusion: pure data parallelism is the fastest
+	// configuration for the dense part of DLRM.
+	results := Search(DefaultSearchConfig())
+	best := results[0]
+	if !best.Mesh.IsDataParallel() {
+		t.Fatalf("fastest mesh is %+v, want pure data parallelism", best.Mesh)
+	}
+	// And the spread must be wide (the CDF covers a broad latency range).
+	worst := results[len(results)-1]
+	if worst.Latency < 2*best.Latency {
+		t.Fatalf("search space too flat: %.3fms .. %.3fms",
+			best.Latency*1e3, worst.Latency*1e3)
+	}
+}
+
+func TestTensorParallelismPaysActivationSync(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	dp := IterationLatency(cfg, Mesh{DP: 64, TP: 1, PP: 1})
+	tp := IterationLatency(cfg, Mesh{DP: 8, TP: 8, PP: 1})
+	if tp <= dp {
+		t.Fatalf("tp=8 (%.3fms) should cost more than pure dp (%.3fms)", tp*1e3, dp*1e3)
+	}
+}
+
+func TestPipelineBubbleCosts(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	dp := IterationLatency(cfg, Mesh{DP: 64, TP: 1, PP: 1})
+	pp := IterationLatency(cfg, Mesh{DP: 8, TP: 1, PP: 8})
+	if pp <= dp {
+		t.Fatalf("pp=8 (%.3fms) should cost more than pure dp (%.3fms)", pp*1e3, dp*1e3)
+	}
+}
+
+func TestCDFIsMonotone(t *testing.T) {
+	lat, frac := CDF(Search(DefaultSearchConfig()))
+	if len(lat) != len(frac) {
+		t.Fatal("CDF lengths differ")
+	}
+	for i := 1; i < len(lat); i++ {
+		if lat[i] < lat[i-1] || frac[i] <= frac[i-1] {
+			t.Fatal("CDF must be monotone")
+		}
+	}
+	if frac[len(frac)-1] != 1 {
+		t.Fatal("CDF must end at 1")
+	}
+}
+
+func TestQuickEnumerateValid(t *testing.T) {
+	f := func(k uint8) bool {
+		gpus := []int{8, 16, 24, 32, 48, 64}[int(k)%6]
+		for _, m := range Enumerate(gpus) {
+			if m.DP < 1 || m.TP < 1 || m.PP < 1 || m.DP*m.TP*m.PP != gpus {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"dmt/internal/topology"
+)
+
+func cluster(gen topology.Generation, gpus int) topology.Cluster {
+	return topology.NewCluster(gen, gpus)
+}
+
+func TestFigure13Calibration(t *testing.T) {
+	// DCN on 64×H100 at batch 16K: the paper measures 29.4 ms compute and
+	// 11.5 ms exposed embedding communication (Figure 13). The model is
+	// calibrated to land near those.
+	b := Iterate(DefaultConfig(DCNSpec(), cluster(topology.H100, 64), Baseline))
+	if math.Abs(b.Compute-29.4e-3)/29.4e-3 > 0.05 {
+		t.Fatalf("compute %.1fms, want ≈29.4ms", b.Compute*1e3)
+	}
+	if b.ExposedEmb < 6e-3 || b.ExposedEmb > 18e-3 {
+		t.Fatalf("exposed emb %.1fms, want near 11.5ms", b.ExposedEmb*1e3)
+	}
+	if b.ExposedDense > 3e-3 {
+		t.Fatalf("exposed dense %.1fms should be small", b.ExposedDense*1e3)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	// Figure 1: compute ≈70%, embedding comm ≈27.5%, dense ≈2.1% for DCN on
+	// 64×H100. Assert the ordering and rough magnitudes.
+	b := Iterate(DefaultConfig(DCNSpec(), cluster(topology.H100, 64), Baseline))
+	comp, emb, dense, _ := b.Percentages()
+	if comp < 55 || comp > 80 {
+		t.Fatalf("compute share %.1f%%, want ≈70%%", comp)
+	}
+	if emb < 15 || emb > 40 {
+		t.Fatalf("embedding share %.1f%%, want ≈27%%", emb)
+	}
+	if dense > 8 {
+		t.Fatalf("dense share %.1f%%, want ≈2%%", dense)
+	}
+	if !(comp > emb && emb > dense) {
+		t.Fatalf("component ordering broken: %v %v %v", comp, emb, dense)
+	}
+}
+
+func TestDMTSpeedupGrowsWithScaleForDLRM(t *testing.T) {
+	// Figure 10 (DLRM): speedup trends upward with cluster size because the
+	// communication share grows (§5.3.1).
+	spec := DLRMSpec()
+	var prev float64
+	for _, gpus := range []int{16, 64, 256, 512} {
+		c := cluster(topology.H100, gpus)
+		s := Speedup(DefaultConfig(spec, c, Baseline), DefaultConfig(spec, c, DMT))
+		if s < prev-0.15 {
+			t.Fatalf("DLRM speedup fell sharply with scale: %v after %v at %d GPUs", s, prev, gpus)
+		}
+		prev = s
+	}
+	// At large scale DMT must deliver a material win (paper: up to 1.9×).
+	c := cluster(topology.H100, 512)
+	s := Speedup(DefaultConfig(DLRMSpec(), c, Baseline), DefaultConfig(DLRMSpec(), c, DMT))
+	if s < 1.3 || s > 2.5 {
+		t.Fatalf("DLRM 512-GPU speedup %v outside the paper's band", s)
+	}
+}
+
+func TestDCNSpeedupLargeAtSmallScaleOnV100(t *testing.T) {
+	// Figure 10 (DCN): older compute-bound GPUs see large gains already at
+	// small scale from the reduced model complexity (96.22 → 43.71 MFlops).
+	c := cluster(topology.V100, 16)
+	s := Speedup(DefaultConfig(DCNSpec(), c, Baseline), DefaultConfig(DCNSpec(), c, DMT))
+	if s < 1.5 || s > 2.4 {
+		t.Fatalf("DCN V100 16-GPU speedup %v, paper reports 1.9", s)
+	}
+	// And the H100 16-GPU speedup should be smaller than V100's (newer GPUs
+	// are less compute-bound).
+	ch := cluster(topology.H100, 16)
+	sh := Speedup(DefaultConfig(DCNSpec(), ch, Baseline), DefaultConfig(DCNSpec(), ch, DMT))
+	if sh >= s {
+		t.Fatalf("H100 small-scale DCN speedup %v should trail V100's %v", sh, s)
+	}
+}
+
+func TestTMOverSPTT(t *testing.T) {
+	// Figure 11: tower modules add 1.2–1.4× over SPTT alone, growing with
+	// scale.
+	spec := DLRMSpec()
+	small := cluster(topology.A100, 16)
+	large := cluster(topology.A100, 512)
+	sSmall := Speedup(DefaultConfig(spec, small, SPTT), DefaultConfig(spec, small, DMT))
+	sLarge := Speedup(DefaultConfig(spec, large, SPTT), DefaultConfig(spec, large, DMT))
+	if sSmall < 1.0 || sLarge < sSmall {
+		t.Fatalf("TM gain should grow with scale: %v -> %v", sSmall, sLarge)
+	}
+	if sLarge < 1.1 || sLarge > 1.8 {
+		t.Fatalf("TM gain at 512 GPUs %v outside Figure 11's band", sLarge)
+	}
+}
+
+func TestCompressionRatioSpeedup(t *testing.T) {
+	// Figure 12: larger CR, larger speedup over SPTT, up to ≈2× at CR 16.
+	spec := DLRMSpec()
+	c := cluster(topology.A100, 64)
+	sptt := DefaultConfig(spec, c, SPTT)
+	var prev float64
+	for _, cr := range []float64{2, 4, 8, 16} {
+		dmt := DefaultConfig(spec, c, DMT)
+		dmt.CompressionRatio = cr
+		s := Speedup(sptt, dmt)
+		if s < prev {
+			t.Fatalf("speedup must grow with CR: %v after %v at CR %v", s, prev, cr)
+		}
+		prev = s
+	}
+	if prev < 1.2 || prev > 3.2 {
+		t.Fatalf("CR=16 speedup %v outside a plausible Figure 12 band", prev)
+	}
+}
+
+func TestSPTTAloneHelpsAtScale(t *testing.T) {
+	spec := DLRMSpec()
+	c := cluster(topology.A100, 512)
+	s := Speedup(DefaultConfig(spec, c, Baseline), DefaultConfig(spec, c, SPTT))
+	if s <= 1.0 {
+		t.Fatalf("SPTT alone should beat baseline at scale, got %v", s)
+	}
+}
+
+func TestXLRMSpeedupLowerThanOpenSource(t *testing.T) {
+	// §5.3.1: XLRM is compute-bound, so its DMT speedup trails DLRM's.
+	c := cluster(topology.A100, 128)
+	sX := Speedup(DefaultConfig(XLRMSpec(), c, Baseline), DefaultConfig(XLRMSpec(), c, DMT))
+	sD := Speedup(DefaultConfig(DLRMSpec(), c, Baseline), DefaultConfig(DLRMSpec(), c, DMT))
+	if sX >= sD {
+		t.Fatalf("XLRM speedup %v should trail DLRM's %v", sX, sD)
+	}
+	if sX < 1.0 {
+		t.Fatalf("XLRM should still benefit: %v", sX)
+	}
+}
+
+func TestQuantizedXLRMDiscussion(t *testing.T) {
+	// §6: on 1024 H100s, quantized DMT-XLRM still outperforms FP8-quantized
+	// XLRM by up to 1.2×. Model both with 1-byte comms.
+	c := cluster(topology.H100, 1024)
+	fp8Base := DefaultConfig(XLRMSpec(), c, Baseline)
+	fp8Base.EmbBytesPerElem, fp8Base.GradBytesPerElem = 1, 1
+	fp8DMT := DefaultConfig(XLRMSpec(), c, DMT)
+	fp8DMT.EmbBytesPerElem, fp8DMT.GradBytesPerElem = 1, 1
+	s := Speedup(fp8Base, fp8DMT)
+	if s < 1.02 || s > 1.5 {
+		t.Fatalf("quantized XLRM speedup %v, paper reports up to 1.2", s)
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	b := Breakdown{Compute: 1, ExposedEmb: 2, ExposedDense: 3, Others: 4}
+	if b.Total() != 10 {
+		t.Fatal("Total broken")
+	}
+	c, e, d, o := b.Percentages()
+	if c != 10 || e != 20 || d != 30 || o != 40 {
+		t.Fatal("Percentages broken")
+	}
+	var z Breakdown
+	if c, _, _, _ := z.Percentages(); c != 0 {
+		t.Fatal("zero breakdown should not divide by zero")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if Baseline.String() != "Baseline" || SPTT.String() != "SPTT" || DMT.String() != "DMT" {
+		t.Fatal("system names")
+	}
+	if System(9).String() == "" {
+		t.Fatal("unknown system should render")
+	}
+}
+
+func TestDMTFlopsLookup(t *testing.T) {
+	spec := DCNSpec()
+	if spec.dmtFlops(8) != 62.60 {
+		t.Fatalf("exact tower count lookup failed: %v", spec.dmtFlops(8))
+	}
+	// Nearest-key fallback.
+	if v := spec.dmtFlops(7); v != 62.60 && v != 50.01 {
+		t.Fatalf("nearest lookup gave %v", v)
+	}
+}
+
+func TestQuantizationAblation(t *testing.T) {
+	// Quantizing baseline comms (4→2 bytes) must speed it up, but DMT at
+	// fp32 should still beat the quantized baseline at scale (§6's
+	// "asymptotically better" claim, directionally).
+	spec := DLRMSpec()
+	c := cluster(topology.A100, 512)
+	fp32 := DefaultConfig(spec, c, Baseline)
+	fp32.EmbBytesPerElem, fp32.GradBytesPerElem = 4, 4
+	quant := DefaultConfig(spec, c, Baseline)
+	quant.EmbBytesPerElem, quant.GradBytesPerElem = 2, 2
+	if Iterate(quant).Total() >= Iterate(fp32).Total() {
+		t.Fatal("quantization should reduce iteration time")
+	}
+	// §6's point: quantization and DMT compose; quantized DMT beats the
+	// quantized flat baseline at scale.
+	dmtQuant := DefaultConfig(spec, c, DMT)
+	dmtQuant.EmbBytesPerElem, dmtQuant.GradBytesPerElem = 2, 2
+	if Iterate(dmtQuant).Total() >= Iterate(quant).Total() {
+		t.Fatal("quantized DMT should beat the quantized flat baseline at 512 GPUs")
+	}
+}

@@ -1,0 +1,133 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmt/internal/topology"
+)
+
+// Property: iteration time is monotone in local batch size for every
+// system (more work cannot be faster).
+func TestQuickMonotoneInBatch(t *testing.T) {
+	f := func(genSel, sysSel, scaleSel uint8) bool {
+		gen := topology.Generations()[int(genSel)%3]
+		sys := []System{Baseline, SPTT, DMT}[int(sysSel)%3]
+		gpus := []int{16, 64, 256}[int(scaleSel)%3]
+		c := topology.NewCluster(gen, gpus)
+		prev := 0.0
+		for _, b := range []int{1024, 4096, 16384, 65536} {
+			cfg := DefaultConfig(DLRMSpec(), c, sys)
+			cfg.LocalBatch = b
+			total := Iterate(cfg).Total()
+			if total < prev {
+				return false
+			}
+			prev = total
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at scale, the system hierarchy holds: DMT ≤ SPTT ≤ Baseline in
+// iteration time. DCN's default towers have CR 1, so its DMT pays a small
+// tower-module overhead without a communication reduction; a 1% tolerance
+// covers that physically real epsilon.
+func TestSystemHierarchyAtScale(t *testing.T) {
+	for _, gen := range topology.Generations() {
+		for _, gpus := range []int{64, 128, 512} {
+			if gen.Name == "V100" && gpus > 128 {
+				continue
+			}
+			c := topology.NewCluster(gen, gpus)
+			for _, spec := range []ModelSpec{DLRMSpec(), DCNSpec()} {
+				base := Iterate(DefaultConfig(spec, c, Baseline)).Total()
+				sptt := Iterate(DefaultConfig(spec, c, SPTT)).Total()
+				dmt := Iterate(DefaultConfig(spec, c, DMT)).Total()
+				if !(dmt <= sptt*1.01 && sptt <= base) {
+					t.Fatalf("%s %s %d GPUs: hierarchy broken: dmt %v sptt %v base %v",
+						spec.Name, gen.Name, gpus, dmt, sptt, base)
+				}
+			}
+		}
+	}
+}
+
+// Property: iteration time is non-increasing in compression ratio.
+func TestQuickMonotoneInCR(t *testing.T) {
+	f := func(genSel uint8, scaleSel uint8) bool {
+		gen := topology.Generations()[int(genSel)%3]
+		gpus := []int{16, 64, 256}[int(scaleSel)%3]
+		if gen.Name == "V100" && gpus > 128 {
+			gpus = 64
+		}
+		c := topology.NewCluster(gen, gpus)
+		prev := 1e9
+		for _, cr := range []float64{1, 2, 4, 8, 16} {
+			cfg := DefaultConfig(DLRMSpec(), c, DMT)
+			cfg.CompressionRatio = cr
+			total := Iterate(cfg).Total()
+			if total > prev+1e-12 {
+				return false
+			}
+			prev = total
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantizing communication never slows an iteration down.
+func TestQuickQuantizationHelps(t *testing.T) {
+	f := func(sysSel, scaleSel uint8) bool {
+		sys := []System{Baseline, SPTT, DMT}[int(sysSel)%3]
+		gpus := []int{16, 64, 512}[int(scaleSel)%3]
+		c := topology.NewCluster(topology.A100, gpus)
+		fp32 := DefaultConfig(DLRMSpec(), c, sys)
+		fp32.EmbBytesPerElem, fp32.GradBytesPerElem = 4, 4
+		half := DefaultConfig(DLRMSpec(), c, sys)
+		half.EmbBytesPerElem, half.GradBytesPerElem = 2, 2
+		return Iterate(half).Total() <= Iterate(fp32).Total()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the phase decomposition is self-consistent — phases are
+// non-negative and their per-kind sums reconstruct the pre-overlap inputs
+// of the breakdown.
+func TestPhasesSelfConsistent(t *testing.T) {
+	c := topology.NewCluster(topology.H100, 64)
+	for _, sys := range []System{Baseline, SPTT, DMT} {
+		cfg := DefaultConfig(DCNSpec(), c, sys)
+		var compute, comm float64
+		for _, ph := range Phases(cfg) {
+			if ph.Seconds < 0 {
+				t.Fatalf("%v: negative phase %q", sys, ph.Name)
+			}
+			if ph.Name == "" {
+				t.Fatalf("%v: unnamed phase", sys)
+			}
+			switch ph.Kind {
+			case KindCompute:
+				compute += ph.Seconds
+			default:
+				comm += ph.Seconds
+			}
+		}
+		b := Iterate(cfg)
+		if compute != b.Compute {
+			t.Fatalf("%v: compute mismatch %v vs %v", sys, compute, b.Compute)
+		}
+		// Exposed comm cannot exceed raw comm.
+		if b.ExposedEmb+b.ExposedDense > comm+1e-12 {
+			t.Fatalf("%v: exposed %v exceeds raw comm %v", sys, b.ExposedEmb+b.ExposedDense, comm)
+		}
+	}
+}

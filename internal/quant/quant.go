@@ -1,0 +1,212 @@
+// Package quant implements the quantized-communication schemes the paper's
+// Strong Baseline enables (§5.1, Yang et al. 2021) and the §6 discussion
+// compares DMT against: emulated FP16 and symmetric linear INT8/INT4
+// quantization of embedding payloads.
+//
+// Quantization here is real arithmetic, not an annotation: tensors are
+// encoded to the reduced representation and decoded back, so the quality
+// experiments measure genuine rounding error, and the byte accounting feeds
+// the performance model's bytes-per-element knobs.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"dmt/internal/tensor"
+)
+
+// Scheme selects a communication precision.
+type Scheme int
+
+// Schemes, ordered by fidelity.
+const (
+	None Scheme = iota // fp32: 4 bytes/element
+	FP16               // emulated half precision: 2 bytes/element
+	INT8               // symmetric linear, per-row scale: 1 byte/element
+	INT4               // symmetric linear, per-row scale: 0.5 bytes/element
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case None:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	case INT4:
+		return "int4"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// BytesPerElem returns the wire size per element (the performance model's
+// EmbBytesPerElem).
+func (s Scheme) BytesPerElem() float64 {
+	switch s {
+	case None:
+		return 4
+	case FP16:
+		return 2
+	case INT8:
+		return 1
+	case INT4:
+		return 0.5
+	default:
+		return 4
+	}
+}
+
+// Apply encodes and immediately decodes t under the scheme, returning the
+// tensor as it would arrive after a quantized collective. None returns the
+// input unchanged.
+func Apply(s Scheme, t *tensor.Tensor) *tensor.Tensor {
+	switch s {
+	case None:
+		return t
+	case FP16:
+		return Apply16(t)
+	case INT8:
+		return roundTripLinear(t, 127)
+	case INT4:
+		return roundTripLinear(t, 7)
+	default:
+		panic("quant: unknown scheme " + s.String())
+	}
+}
+
+// Apply16 rounds every element to the nearest IEEE 754 half-precision
+// value (round-to-nearest-even), the error model of fp16 collectives.
+func Apply16(t *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(t.Shape()...)
+	for i, v := range t.Data() {
+		out.Data()[i] = FromFloat16(ToFloat16(v))
+	}
+	return out
+}
+
+// ToFloat16 converts a float32 to IEEE 754 binary16 bits with
+// round-to-nearest-even, handling subnormals, infinities, and NaN.
+func ToFloat16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+	switch {
+	case exp >= 0x1f: // overflow or inf/nan
+		if int32(bits>>23&0xff) == 0xff && mant != 0 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00 // Inf
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		// Subnormal: shift mantissa (with implicit leading 1).
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := mant + half
+		// Round-to-nearest-even on ties.
+		if mant&(half|(half-1)) == half {
+			rounded = mant
+		}
+		return sign | uint16(rounded>>shift)
+	default:
+		// Normal: round mantissa from 23 to 10 bits, nearest even.
+		rounded := mant + 0xfff + (mant>>13)&1
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return sign | 0x7c00
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(rounded>>13)
+	}
+}
+
+// FromFloat16 converts binary16 bits back to float32 exactly.
+func FromFloat16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7fc00000)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// roundTripLinear applies symmetric per-row linear quantization with the
+// given max level (127 for int8, 7 for int4). 1-D tensors quantize with a
+// single scale.
+func roundTripLinear(t *tensor.Tensor, levels float64) *tensor.Tensor {
+	out := tensor.New(t.Shape()...)
+	rows, width := 1, t.Len()
+	if t.Rank() >= 2 {
+		width = t.Dim(-1)
+		rows = t.Len() / width
+	}
+	for r := 0; r < rows; r++ {
+		src := t.Data()[r*width : (r+1)*width]
+		dst := out.Data()[r*width : (r+1)*width]
+		maxAbs := 0.0
+		for _, v := range src {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / levels
+		for i, v := range src {
+			q := math.Round(float64(v) / scale)
+			if q > levels {
+				q = levels
+			}
+			if q < -levels {
+				q = -levels
+			}
+			dst[i] = float32(q * scale)
+		}
+	}
+	return out
+}
+
+// MaxRelError returns the worst-case relative rounding error of a scheme on
+// values of similar magnitude: the per-step guarantee used by the tests.
+func MaxRelError(s Scheme) float64 {
+	switch s {
+	case None:
+		return 0
+	case FP16:
+		return 1.0 / 2048 // half of ulp at 10 mantissa bits
+	case INT8:
+		return 1.0 / 254
+	case INT4:
+		return 1.0 / 14
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,151 @@
+package sharding
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Planner produces placements in the style of TorchRec's auto-planner: pick
+// a strategy per table, enumerate the resulting shards, then greedily pack
+// shards onto ranks by descending cost (longest-processing-time), always
+// placing on the currently least-loaded rank.
+type Planner struct {
+	NumRanks   int
+	LocalBatch int
+	// ColumnShardFactor forces each column-shardable table into this many
+	// column shards. Zero selects it automatically so that the shard count
+	// reaches the rank count (the manual factor of §5.1).
+	ColumnShardFactor int
+	// RowShardFanout is how many ranks a row-wise table spreads over.
+	// Zero defaults to NumRanks.
+	RowShardFanout int
+}
+
+// strategyFor applies the paper's pinning rule (§4): single-hot tables are
+// column-wise sharded (lower communication volume at large batch); multi-hot
+// tables are row-wise sharded (partial pools are reduced, not concatenated).
+func (pl *Planner) strategyFor(t Table) Strategy {
+	if t.PoolingFactor > 1 {
+		return RowWise
+	}
+	return ColumnWise
+}
+
+// Plan places the tables onto ranks 0..NumRanks-1.
+func (pl *Planner) Plan(tables []Table) (*Plan, error) {
+	ranks := make([]int, pl.NumRanks)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return pl.PlanOn(tables, ranks)
+}
+
+// PlanOn places the tables onto an explicit rank set — DMT's per-tower
+// sharding plans each tower's tables onto its own host's GPUs only.
+func (pl *Planner) PlanOn(tables []Table, ranks []int) (*Plan, error) {
+	if pl.NumRanks <= 0 {
+		return nil, fmt.Errorf("sharding: planner needs NumRanks > 0")
+	}
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("sharding: empty rank set")
+	}
+	for _, r := range ranks {
+		if r < 0 || r >= pl.NumRanks {
+			return nil, fmt.Errorf("sharding: rank %d outside [0,%d)", r, pl.NumRanks)
+		}
+	}
+	plan := &Plan{Tables: tables, NumRanks: pl.NumRanks}
+
+	// 1. Build shard candidates.
+	var cands []Shard
+	nColumnable := 0
+	for _, t := range tables {
+		if pl.strategyFor(t) == ColumnWise {
+			nColumnable++
+		}
+	}
+	colFactor := pl.ColumnShardFactor
+	if colFactor == 0 {
+		colFactor = 1
+		if nColumnable > 0 {
+			for nColumnable*colFactor < len(ranks) {
+				colFactor++
+			}
+		}
+	}
+	for ti, t := range tables {
+		switch pl.strategyFor(t) {
+		case ColumnWise:
+			f := colFactor
+			if f > t.Dim {
+				f = t.Dim
+			}
+			if f <= 1 {
+				cands = append(cands, Shard{Table: ti, Strategy: TableWise, ColHi: t.Dim, RowHi: t.Rows})
+				continue
+			}
+			for k := 0; k < f; k++ {
+				lo := k * t.Dim / f
+				hi := (k + 1) * t.Dim / f
+				cands = append(cands, Shard{Table: ti, Strategy: ColumnWise, ColLo: lo, ColHi: hi, RowLo: 0, RowHi: t.Rows})
+			}
+		case RowWise:
+			fan := pl.RowShardFanout
+			if fan == 0 || fan > len(ranks) {
+				fan = len(ranks)
+			}
+			if fan > t.Rows {
+				fan = t.Rows
+			}
+			for k := 0; k < fan; k++ {
+				lo := k * t.Rows / fan
+				hi := (k + 1) * t.Rows / fan
+				cands = append(cands, Shard{Table: ti, Strategy: RowWise, RowLo: lo, RowHi: hi, ColLo: 0, ColHi: t.Dim})
+			}
+		}
+	}
+
+	// 2. LPT pack: heaviest shard first onto the least-loaded rank.
+	sort.SliceStable(cands, func(i, j int) bool {
+		ci := shardCost(tables[cands[i].Table], cands[i], pl.LocalBatch, pl.NumRanks)
+		cj := shardCost(tables[cands[j].Table], cands[j], pl.LocalBatch, pl.NumRanks)
+		if ci != cj {
+			return ci > cj
+		}
+		return cands[i].Table < cands[j].Table
+	})
+	h := &loadHeap{}
+	for _, r := range ranks {
+		heap.Push(h, rankLoad{rank: r})
+	}
+	for _, s := range cands {
+		rl := heap.Pop(h).(rankLoad)
+		s.Rank = rl.rank
+		plan.Shards = append(plan.Shards, s)
+		rl.load += shardCost(tables[s.Table], s, pl.LocalBatch, pl.NumRanks)
+		heap.Push(h, rl)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+type rankLoad struct {
+	rank int
+	load float64
+}
+
+type loadHeap []rankLoad
+
+func (h loadHeap) Len() int { return len(h) }
+func (h loadHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].rank < h[j].rank
+}
+func (h loadHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *loadHeap) Push(x any)   { *h = append(*h, x.(rankLoad)) }
+func (h *loadHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -1,0 +1,207 @@
+// Package sharding plans the placement of embedding tables onto GPUs — the
+// substrate TorchRec's auto-planner provides for the paper's Strong Baseline
+// (§5.1) and that DMT reuses per tower (§4 "Embedding Table Sharding").
+//
+// Supported strategies follow the paper:
+//
+//   - TableWise: a table lives wholly on one rank.
+//   - ColumnWise: the embedding dimension is split into equal shards; the
+//     baseline uses a column-wise sharding factor to spread load when there
+//     are more GPUs than tables (§5.1), and DMT uses it for large-batch
+//     single-hot tables (§4).
+//   - RowWise: the hash rows are split; used for small-batch multi-hot
+//     tables, turning SPTT's step (d) into a ReduceScatter (§3.1.3).
+//
+// The planner is a greedy longest-processing-time bin packer over a simple
+// per-shard cost model, which is what production auto-planners reduce to
+// once their cost models are evaluated.
+package sharding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy enumerates the sharding strategies.
+type Strategy int
+
+// Sharding strategies.
+const (
+	TableWise Strategy = iota
+	ColumnWise
+	RowWise
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case TableWise:
+		return "table-wise"
+	case ColumnWise:
+		return "column-wise"
+	case RowWise:
+		return "row-wise"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Table describes one embedding table to place.
+type Table struct {
+	Name string
+	Rows int
+	Dim  int
+	// PoolingFactor is the average bag size of lookups (1 = single-hot).
+	PoolingFactor float64
+}
+
+// Bytes returns the table's parameter footprint in bytes (float32).
+func (t Table) Bytes() int64 { return int64(t.Rows) * int64(t.Dim) * 4 }
+
+// Shard is one placed fragment of a table.
+type Shard struct {
+	Table    int // index into the plan's table list
+	Strategy Strategy
+	Rank     int
+	// Column range [ColLo, ColHi) for ColumnWise; full width otherwise.
+	ColLo, ColHi int
+	// Row range [RowLo, RowHi) for RowWise; full height otherwise.
+	RowLo, RowHi int
+}
+
+// Dim returns the shard's embedding width.
+func (s Shard) Dim() int { return s.ColHi - s.ColLo }
+
+// Rows returns the shard's row count.
+func (s Shard) Rows() int { return s.RowHi - s.RowLo }
+
+// Plan is a full placement of tables onto ranks.
+type Plan struct {
+	Tables   []Table
+	NumRanks int
+	Shards   []Shard
+}
+
+// shardCost models the per-iteration work a shard induces: lookup reads
+// (batch × pooling × width) plus output communication (batch × width),
+// in float32 elements.
+func shardCost(t Table, s Shard, localBatch, worldSize int) float64 {
+	globalBatch := float64(localBatch * worldSize)
+	width := float64(s.Dim())
+	lookup := globalBatch * t.PoolingFactor * width
+	comm := globalBatch * width
+	return lookup + comm
+}
+
+// LoadPerRank returns each rank's modeled cost for a local batch size.
+func (p *Plan) LoadPerRank(localBatch int) []float64 {
+	loads := make([]float64, p.NumRanks)
+	for _, s := range p.Shards {
+		loads[s.Rank] += shardCost(p.Tables[s.Table], s, localBatch, p.NumRanks)
+	}
+	return loads
+}
+
+// Imbalance returns max/mean load; 1.0 is perfect balance. NeuroShard-style
+// planners minimize exactly this (§2.4) — the experiments show that even at
+// 1.0 the global AlltoAll latency wall remains.
+func (p *Plan) Imbalance(localBatch int) float64 {
+	loads := p.LoadPerRank(localBatch)
+	var max, sum float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(p.NumRanks))
+}
+
+// BytesPerRank returns the parameter bytes placed on each rank.
+func (p *Plan) BytesPerRank() []int64 {
+	out := make([]int64, p.NumRanks)
+	for _, s := range p.Shards {
+		out[s.Rank] += int64(s.Rows()) * int64(s.Dim()) * 4
+	}
+	return out
+}
+
+// ShardsOf returns the shards placed on a rank, in stable order.
+func (p *Plan) ShardsOf(rank int) []Shard {
+	var out []Shard
+	for _, s := range p.Shards {
+		if s.Rank == rank {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type interval struct{ lo, hi int }
+
+// Validate checks the plan covers every table exactly once (no gaps or
+// overlaps in the sharded dimension) and every shard names a valid rank.
+func (p *Plan) Validate() error {
+	cols := make(map[int][]interval)
+	rows := make(map[int][]interval)
+	for _, s := range p.Shards {
+		if s.Rank < 0 || s.Rank >= p.NumRanks {
+			return fmt.Errorf("sharding: shard of table %d on invalid rank %d", s.Table, s.Rank)
+		}
+		if s.Table < 0 || s.Table >= len(p.Tables) {
+			return fmt.Errorf("sharding: shard names unknown table %d", s.Table)
+		}
+		t := p.Tables[s.Table]
+		switch s.Strategy {
+		case ColumnWise:
+			cols[s.Table] = append(cols[s.Table], interval{s.ColLo, s.ColHi})
+		case RowWise:
+			rows[s.Table] = append(rows[s.Table], interval{s.RowLo, s.RowHi})
+		case TableWise:
+			if s.ColLo != 0 || s.ColHi != t.Dim || s.RowLo != 0 || s.RowHi != t.Rows {
+				return fmt.Errorf("sharding: table-wise shard of %q must cover the table", t.Name)
+			}
+			cols[s.Table] = append(cols[s.Table], interval{0, t.Dim})
+		}
+	}
+	for ti, t := range p.Tables {
+		civ, riv := cols[ti], rows[ti]
+		if len(civ) > 0 && len(riv) > 0 {
+			return fmt.Errorf("sharding: table %q mixes row and column sharding", t.Name)
+		}
+		if len(riv) > 0 {
+			if err := coverExactly(riv, t.Rows); err != nil {
+				return fmt.Errorf("sharding: table %q rows: %v", t.Name, err)
+			}
+			continue
+		}
+		if err := coverExactly(civ, t.Dim); err != nil {
+			return fmt.Errorf("sharding: table %q cols: %v", t.Name, err)
+		}
+	}
+	return nil
+}
+
+func coverExactly(ivs []interval, total int) error {
+	if len(ivs) == 0 {
+		return fmt.Errorf("not placed")
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	at := 0
+	for _, iv := range ivs {
+		if iv.lo != at {
+			return fmt.Errorf("gap or overlap at %d (next interval starts %d)", at, iv.lo)
+		}
+		if iv.hi <= iv.lo {
+			return fmt.Errorf("empty interval")
+		}
+		at = iv.hi
+	}
+	if at != total {
+		return fmt.Errorf("covered %d of %d", at, total)
+	}
+	return nil
+}

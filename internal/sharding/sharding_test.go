@@ -1,0 +1,198 @@
+package sharding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func criteoTables(n, rows, dim int) []Table {
+	ts := make([]Table, n)
+	for i := range ts {
+		ts[i] = Table{Name: "t", Rows: rows + i*10, Dim: dim, PoolingFactor: 1}
+	}
+	return ts
+}
+
+func TestPlanCoversAllTables(t *testing.T) {
+	pl := &Planner{NumRanks: 4, LocalBatch: 128}
+	plan, err := pl.Plan(criteoTables(26, 1000, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnShardFactorAuto(t *testing.T) {
+	// 4 tables, 16 ranks: auto factor must split columns so every rank can
+	// receive work (the §5.1 manual column-wise factor).
+	pl := &Planner{NumRanks: 16, LocalBatch: 64}
+	plan, err := pl.Plan(criteoTables(4, 1000, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) < 16 {
+		t.Fatalf("only %d shards for 16 ranks", len(plan.Shards))
+	}
+	used := map[int]bool{}
+	for _, s := range plan.Shards {
+		used[s.Rank] = true
+		if s.Strategy != ColumnWise {
+			t.Fatalf("single-hot table got %v", s.Strategy)
+		}
+	}
+	if len(used) != 16 {
+		t.Fatalf("%d ranks used, want 16", len(used))
+	}
+}
+
+func TestRowWiseForMultiHot(t *testing.T) {
+	pl := &Planner{NumRanks: 4, LocalBatch: 64}
+	tables := []Table{{Name: "hist", Rows: 1000, Dim: 32, PoolingFactor: 8}}
+	plan, err := pl.Plan(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowShards := 0
+	covered := 0
+	for _, s := range plan.Shards {
+		if s.Strategy != RowWise {
+			t.Fatalf("multi-hot table got %v", s.Strategy)
+		}
+		rowShards++
+		covered += s.Rows()
+	}
+	if rowShards != 4 || covered != 1000 {
+		t.Fatalf("row shards %d covering %d rows", rowShards, covered)
+	}
+}
+
+func TestBalanceIsTight(t *testing.T) {
+	pl := &Planner{NumRanks: 8, LocalBatch: 128}
+	plan, err := pl.Plan(criteoTables(26, 2000, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := plan.Imbalance(128); imb > 1.35 {
+		t.Fatalf("LPT imbalance %v too loose", imb)
+	}
+}
+
+func TestPlanOnSubsetOfRanks(t *testing.T) {
+	// Tower-style: place on ranks {4,5,6,7} of an 8-rank world only.
+	pl := &Planner{NumRanks: 8, LocalBatch: 32}
+	plan, err := pl.PlanOn(criteoTables(6, 500, 32), []int{4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Shards {
+		if s.Rank < 4 {
+			t.Fatalf("shard leaked to rank %d outside the tower", s.Rank)
+		}
+	}
+	loads := plan.LoadPerRank(32)
+	for r := 0; r < 4; r++ {
+		if loads[r] != 0 {
+			t.Fatal("non-tower rank has load")
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := (&Planner{NumRanks: 0}).Plan(nil); err == nil {
+		t.Fatal("want error for zero ranks")
+	}
+	if _, err := (&Planner{NumRanks: 4}).PlanOn(nil, nil); err == nil {
+		t.Fatal("want error for empty rank set")
+	}
+	if _, err := (&Planner{NumRanks: 4}).PlanOn(nil, []int{9}); err == nil {
+		t.Fatal("want error for out-of-range rank")
+	}
+}
+
+func TestValidateCatchesGaps(t *testing.T) {
+	p := &Plan{
+		Tables:   []Table{{Name: "x", Rows: 10, Dim: 8, PoolingFactor: 1}},
+		NumRanks: 2,
+		Shards: []Shard{
+			{Table: 0, Strategy: ColumnWise, Rank: 0, ColLo: 0, ColHi: 3, RowHi: 10},
+			{Table: 0, Strategy: ColumnWise, Rank: 1, ColLo: 4, ColHi: 8, RowHi: 10}, // gap at col 3
+		},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("validate must catch column gap")
+	}
+}
+
+func TestValidateCatchesMixedSharding(t *testing.T) {
+	p := &Plan{
+		Tables:   []Table{{Name: "x", Rows: 10, Dim: 8, PoolingFactor: 1}},
+		NumRanks: 2,
+		Shards: []Shard{
+			{Table: 0, Strategy: ColumnWise, Rank: 0, ColLo: 0, ColHi: 8, RowHi: 10},
+			{Table: 0, Strategy: RowWise, Rank: 1, RowLo: 0, RowHi: 10, ColHi: 8},
+		},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("validate must reject mixed row+column sharding")
+	}
+}
+
+func TestBytesPerRankAndShardsOf(t *testing.T) {
+	pl := &Planner{NumRanks: 2, LocalBatch: 16}
+	plan, err := pl.Plan(criteoTables(2, 100, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, b := range plan.BytesPerRank() {
+		total += b
+	}
+	want := int64(100*16+110*16) * 4
+	if total != want {
+		t.Fatalf("total bytes %d want %d", total, want)
+	}
+	n := len(plan.ShardsOf(0)) + len(plan.ShardsOf(1))
+	if n != len(plan.Shards) {
+		t.Fatal("ShardsOf does not partition the shard list")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if TableWise.String() != "table-wise" || ColumnWise.String() != "column-wise" || RowWise.String() != "row-wise" {
+		t.Fatal("strategy names")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy should render")
+	}
+}
+
+// Property: any mix of single- and multi-hot tables yields a valid plan with
+// every rank reachable and imbalance bounded.
+func TestQuickPlannerAlwaysValid(t *testing.T) {
+	f := func(seed uint64, nT, nR uint8) bool {
+		nTables := int(nT%12) + 1
+		nRanks := int(nR%8) + 1
+		tables := make([]Table, nTables)
+		s := seed
+		for i := range tables {
+			s = s*6364136223846793005 + 1442695040888963407
+			rows := 100 + int(s%2000)
+			pooling := 1.0
+			if s%3 == 0 {
+				pooling = 4
+			}
+			tables[i] = Table{Name: "t", Rows: rows, Dim: 16 + int(s%4)*16, PoolingFactor: pooling}
+		}
+		pl := &Planner{NumRanks: nRanks, LocalBatch: 32}
+		plan, err := pl.Plan(tables)
+		if err != nil {
+			return false
+		}
+		return plan.Validate() == nil && plan.Imbalance(32) < float64(nRanks)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

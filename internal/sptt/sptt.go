@@ -1,0 +1,306 @@
+// Package sptt implements the Semantic-Preserving Tower Transform (§3.1) —
+// the paper's core contribution — together with the classic global-AlltoAll
+// embedding distribution it replaces (Figure 4), as real dataflow over the
+// in-process collective runtime.
+//
+// Both paths take identical per-rank sparse inputs and produce, on every
+// rank, the pooled embeddings of all features for that rank's local batch,
+// in canonical feature order. The package tests verify bit-for-bit equality
+// of outputs and backward gradients — the "semantic-preserving" property
+// SPTT's name claims, which Table 3 demonstrates as AUC-neutrality.
+//
+// SPTT's six steps (Figure 7):
+//
+//	(a) feature-distribution AlltoAll (indices, global world)
+//	(b) local embedding lookup (pooled, per owned table)
+//	(c) peer permute (local reorder of source-rank blocks)
+//	(d) intra-host AlltoAll (NVLink domain)
+//	(e) local data shuffle ((features, peers) -> (peers, features) transpose)
+//	(f) L concurrent peer AlltoAlls, each in a world of size T = G/L
+package sptt
+
+import (
+	"fmt"
+	"sort"
+
+	"dmt/internal/nn"
+	"dmt/internal/tensor"
+)
+
+// FeatureSpec describes one sparse feature and its embedding table.
+type FeatureSpec struct {
+	Name        string
+	Cardinality int
+	// Hot is the bag size per sample (1 = single-hot).
+	Hot int
+	// Mode is the pooling mode for multi-hot bags.
+	Mode nn.PoolMode
+}
+
+// Config is the static layout of an embedding-distribution problem.
+type Config struct {
+	G        int // total GPUs
+	L        int // GPUs per host
+	B        int // local batch size per GPU
+	N        int // embedding dimension
+	Features []FeatureSpec
+	// TowerOf maps feature -> tower. With the identity "one tower per host"
+	// deployment (§5.1 pins each tower to a single host), tower t lives on
+	// host t. Baseline runs ignore TowerOf.
+	TowerOf []int
+	// RankOf maps feature -> owning global rank (table-wise placement).
+	// For SPTT runs, RankOf[f] must be a rank of host TowerOf[f].
+	RankOf []int
+}
+
+// T returns the number of towers (= hosts in the 1-host-per-tower layout).
+func (c Config) T() int { return c.G / c.L }
+
+// F returns the feature count.
+func (c Config) F() int { return len(c.Features) }
+
+// Validate checks structural invariants; spttOK additionally enforces the
+// tower-locality constraint required by the transform.
+func (c Config) Validate(spttOK bool) error {
+	if c.G <= 0 || c.L <= 0 || c.G%c.L != 0 {
+		return fmt.Errorf("sptt: G=%d must be a positive multiple of L=%d", c.G, c.L)
+	}
+	if c.B <= 0 || c.N <= 0 {
+		return fmt.Errorf("sptt: B=%d and N=%d must be positive", c.B, c.N)
+	}
+	if len(c.RankOf) != c.F() {
+		return fmt.Errorf("sptt: RankOf has %d entries for %d features", len(c.RankOf), c.F())
+	}
+	for f, r := range c.RankOf {
+		if r < 0 || r >= c.G {
+			return fmt.Errorf("sptt: feature %d owned by invalid rank %d", f, r)
+		}
+		if spttOK {
+			if len(c.TowerOf) != c.F() {
+				return fmt.Errorf("sptt: TowerOf has %d entries for %d features", len(c.TowerOf), c.F())
+			}
+			t := c.TowerOf[f]
+			if t < 0 || t >= c.T() {
+				return fmt.Errorf("sptt: feature %d in invalid tower %d", f, t)
+			}
+			if r/c.L != t {
+				return fmt.Errorf("sptt: feature %d owned by rank %d outside tower %d's host", f, r, t)
+			}
+		}
+	}
+	return nil
+}
+
+// OwnedFeatures returns the features owned by a rank, ascending.
+func (c Config) OwnedFeatures(rank int) []int {
+	var out []int
+	for f, r := range c.RankOf {
+		if r == rank {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TowerFeatures returns tower t's features in "host order": for each local
+// rank of host t in ascending local index, that rank's owned features
+// ascending. This is the feature order steps (d)–(f) materialize.
+func (c Config) TowerFeatures(t int) []int {
+	var out []int
+	for j := 0; j < c.L; j++ {
+		out = append(out, c.OwnedFeatures(t*c.L+j)...)
+	}
+	return out
+}
+
+// PeerOrder returns all global ranks sorted by (rank%L, rank/L): ranks of
+// the same peer class (equal local index, §3.1.1's "peers") are contiguous,
+// ordered by host within a class. For G=4, L=2 this is (0, 2, 1, 3),
+// matching the paper's walk-through.
+//
+// Note: the paper's text writes the sort key as (g%T, g//L); for its 2×2
+// example both keys give the same order, but only (g%L, g//L) groups peers
+// contiguously in general, which is what steps (d)-(f) require.
+func PeerOrder(g, l int) []int {
+	order := make([]int, g)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := order[a]%l, order[b]%l
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a]/l < order[b]/l
+	})
+	return order
+}
+
+// InversePerm returns the inverse permutation.
+func InversePerm(p []int) []int {
+	inv := make([]int, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}
+
+// RoundRobinAssignment places feature f on rank f%G — the flat baseline
+// placement of Figure 4.
+func RoundRobinAssignment(nFeatures, g int) []int {
+	out := make([]int, nFeatures)
+	for f := range out {
+		out[f] = f % g
+	}
+	return out
+}
+
+// TowerAssignment converts a tower partition (towers[t] = feature list) into
+// (TowerOf, RankOf): each tower's features are placed round-robin over its
+// host's L ranks.
+func TowerAssignment(towers [][]int, nFeatures, l int) (towerOf, rankOf []int, err error) {
+	towerOf = make([]int, nFeatures)
+	rankOf = make([]int, nFeatures)
+	seen := make([]bool, nFeatures)
+	for t, feats := range towers {
+		for i, f := range feats {
+			if f < 0 || f >= nFeatures {
+				return nil, nil, fmt.Errorf("sptt: tower %d names invalid feature %d", t, f)
+			}
+			if seen[f] {
+				return nil, nil, fmt.Errorf("sptt: feature %d assigned twice", f)
+			}
+			seen[f] = true
+			towerOf[f] = t
+			rankOf[f] = t*l + i%l
+		}
+	}
+	for f, s := range seen {
+		if !s {
+			return nil, nil, fmt.Errorf("sptt: feature %d not assigned to any tower", f)
+		}
+	}
+	return towerOf, rankOf, nil
+}
+
+// Inputs is one rank's local sparse batch: per feature, flat bag indices and
+// per-sample bag offsets (the EmbeddingBag layout).
+type Inputs struct {
+	Indices [][]int32
+	Offsets [][]int32
+}
+
+// encodeBags packs the bags of the given features from in into one int32
+// payload: per feature, B bag sizes followed by the flat indices.
+func encodeBags(features []int, in *Inputs, b int) []int32 {
+	var payload []int32
+	for _, f := range features {
+		offs := in.Offsets[f]
+		idxs := in.Indices[f]
+		for s := 0; s < b; s++ {
+			lo := int(offs[s])
+			hi := len(idxs)
+			if s+1 < b {
+				hi = int(offs[s+1])
+			}
+			payload = append(payload, int32(hi-lo))
+		}
+		payload = append(payload, idxs...)
+	}
+	return payload
+}
+
+// decodeBags unpacks a payload produced by encodeBags.
+func decodeBags(payload []int32, nFeatures, b int) (indices [][]int32, offsets [][]int32) {
+	indices = make([][]int32, nFeatures)
+	offsets = make([][]int32, nFeatures)
+	pos := 0
+	for f := 0; f < nFeatures; f++ {
+		sizes := payload[pos : pos+b]
+		pos += b
+		offsets[f] = make([]int32, b)
+		total := 0
+		for s := 0; s < b; s++ {
+			offsets[f][s] = int32(total)
+			total += int(sizes[s])
+		}
+		indices[f] = payload[pos : pos+total]
+		pos += total
+	}
+	return indices, offsets
+}
+
+// poolLookup performs a pure (non-caching) pooled lookup on a table — the
+// step (b) kernel. Unlike nn.EmbeddingBag.Forward it mutates nothing, so
+// concurrent ranks can share table storage for read.
+func poolLookup(table *tensor.Tensor, mode nn.PoolMode, indices, offsets []int32, dim int) *tensor.Tensor {
+	b := len(offsets)
+	out := tensor.New(b, dim)
+	for s := 0; s < b; s++ {
+		lo := int(offsets[s])
+		hi := len(indices)
+		if s+1 < b {
+			hi = int(offsets[s+1])
+		}
+		if lo == hi {
+			continue
+		}
+		dst := out.Row(s)
+		for _, ix := range indices[lo:hi] {
+			src := table.Row(int(ix))
+			for d := 0; d < dim; d++ {
+				dst[d] += src[d]
+			}
+		}
+		if mode == nn.PoolMean {
+			inv := 1 / float32(hi-lo)
+			for d := 0; d < dim; d++ {
+				dst[d] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// poolBackward converts a pooled-output gradient into a coalesced sparse
+// table gradient (the pure counterpart of nn.EmbeddingBag.Backward).
+func poolBackward(mode nn.PoolMode, indices, offsets []int32, dPooled *tensor.Tensor) *nn.SparseGrad {
+	b := len(offsets)
+	dim := dPooled.Dim(1)
+	acc := make(map[int][]float32)
+	for s := 0; s < b; s++ {
+		lo := int(offsets[s])
+		hi := len(indices)
+		if s+1 < b {
+			hi = int(offsets[s+1])
+		}
+		if lo == hi {
+			continue
+		}
+		g := dPooled.Row(s)
+		scale := float32(1)
+		if mode == nn.PoolMean {
+			scale = 1 / float32(hi-lo)
+		}
+		for _, ix := range indices[lo:hi] {
+			row := acc[int(ix)]
+			if row == nil {
+				row = make([]float32, dim)
+				acc[int(ix)] = row
+			}
+			for d := 0; d < dim; d++ {
+				row[d] += scale * g[d]
+			}
+		}
+	}
+	rows := make([]int, 0, len(acc))
+	for r := range acc {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	grads := tensor.New(len(rows), dim)
+	for i, r := range rows {
+		copy(grads.Row(i), acc[r])
+	}
+	return &nn.SparseGrad{Rows: rows, Grads: grads}
+}

@@ -1,0 +1,285 @@
+package sptt
+
+import (
+	"fmt"
+
+	"dmt/internal/comm"
+	"dmt/internal/nn"
+	"dmt/internal/tensor"
+)
+
+// TowerModule is the hook SPTT offers tower modules (§3.2): a dense module
+// replicated on every rank of its tower's host, applied between steps (e)
+// and (f) to compress the tower's embeddings before cross-host exchange.
+// Replicas are data-parallel within the tower; SPTT AllReduces their
+// gradients over the intra-host group — the tower-local synchronization
+// boundary the paper highlights.
+type TowerModule interface {
+	// Forward maps (S, F_t, N) to (S, O_t).
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward maps dY (S, O_t) back to dX (S, F_t, N), accumulating
+	// parameter gradients.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// OutDim returns O_t.
+	OutDim() int
+	// Params exposes the replica's parameters for intra-tower reduction.
+	Params() []*nn.Param
+}
+
+// groupSet bundles the three communicator families SPTT needs.
+type groupSet struct {
+	g, l, t int
+	global  []*comm.Comm
+	host    [][]*comm.Comm // [host][local index]
+	peer    [][]*comm.Comm // [class][host index]
+}
+
+func newGroupSet(g, l int) *groupSet {
+	t := g / l
+	gs := &groupSet{g: g, l: l, t: t, global: comm.NewGroup(g)}
+	for h := 0; h < t; h++ {
+		gs.host = append(gs.host, comm.NewGroup(l))
+	}
+	for m := 0; m < l; m++ {
+		gs.peer = append(gs.peer, comm.NewGroup(t))
+	}
+	return gs
+}
+
+// forRank returns the three communicators of a global rank.
+func (gs *groupSet) forRank(rank int) (global, host, peer *comm.Comm) {
+	return gs.global[rank], gs.host[rank/gs.l][rank%gs.l], gs.peer[rank%gs.l][rank/gs.l]
+}
+
+// globalTraffic folds a sub-group's traffic matrix into a G×G global one.
+func (gs *groupSet) fold() (globalM, hostM, peerM [][]int64) {
+	mk := func() [][]int64 {
+		m := make([][]int64, gs.g)
+		for i := range m {
+			m[i] = make([]int64, gs.g)
+		}
+		return m
+	}
+	globalM, hostM, peerM = mk(), mk(), mk()
+	gm := comm.TrafficMatrix(gs.global)
+	for s := range gm {
+		copy(globalM[s], gm[s])
+	}
+	for h, grp := range gs.host {
+		m := comm.TrafficMatrix(grp)
+		for sj := range m {
+			for dj, b := range m[sj] {
+				hostM[h*gs.l+sj][h*gs.l+dj] += b
+			}
+		}
+	}
+	for cls, grp := range gs.peer {
+		m := comm.TrafficMatrix(grp)
+		for st := range m {
+			for dt, b := range m[st] {
+				peerM[st*gs.l+cls][dt*gs.l+cls] += b
+			}
+		}
+	}
+	return globalM, hostM, peerM
+}
+
+// SPTTState carries the cached lookups for backward plus per-phase traffic
+// matrices (G×G, global rank indexed) for the volume assertions in tests
+// and EXPERIMENTS.md.
+type SPTTState struct {
+	lookups []*rankLookupState
+	modules []TowerModule // per rank; nil for the pass-through transform
+
+	// GlobalTraffic covers step (a); HostTraffic step (d); PeerTraffic
+	// step (f) and, in compressed runs, the intra-tower gradient reduction
+	// is folded into HostTraffic by the backward pass.
+	GlobalTraffic [][]int64
+	HostTraffic   [][]int64
+	PeerTraffic   [][]int64
+}
+
+// Options tweaks the transform's specializations (§3.1.3).
+type Options struct {
+	// SkipPermute uses a virtual process group instead of physically
+	// reordering step (c): chunks for step (d) are gathered through the
+	// peer-order index map directly. Semantically identical; the tests
+	// assert it.
+	SkipPermute bool
+	// SwapLookupPermute swaps steps (b) and (c): the peer permute is
+	// applied to the index payloads before the lookup, so the shuffle
+	// touches the smaller object when the sparse inputs are lighter than
+	// the embeddings. Semantically identical; the tests assert it.
+	SwapLookupPermute bool
+}
+
+// SPTTForward runs the pass-through transform (steps a–f, no tower module):
+// outs[r] is rank r's (B, F, N) in canonical feature order — bit-identical
+// to BaselineForward's output (Table 3's "SPTT only orchestrates dataflow").
+func (e *Engine) SPTTForward(inputs []*Inputs, opt Options) ([]*tensor.Tensor, *SPTTState) {
+	outs, st, _ := e.spttRun(inputs, nil, opt)
+	return outs, st
+}
+
+// SPTTForwardCompressed runs the transform with tower modules: modules[r]
+// is rank r's replica of its tower's module (all ranks of a host share the
+// tower; replicas must have identical parameters). outs[r] is
+// (B, Σ_t O_t): the compressed tower outputs in tower order — the input to
+// hierarchical global interaction (§3.2, Figure 8).
+func (e *Engine) SPTTForwardCompressed(inputs []*Inputs, modules []TowerModule, opt Options) ([]*tensor.Tensor, *SPTTState) {
+	if len(modules) != e.Cfg.G {
+		panic(fmt.Sprintf("sptt: %d tower-module replicas for %d ranks", len(modules), e.Cfg.G))
+	}
+	outs, st, _ := e.spttRun(inputs, modules, opt)
+	return outs, st
+}
+
+// spttRun is the shared implementation. When modules is nil it produces the
+// pass-through (B, F, N) output; otherwise the compressed (B, ΣO) output.
+func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) ([]*tensor.Tensor, *SPTTState, *groupSet) {
+	cfg := e.Cfg
+	if len(inputs) != cfg.G {
+		panic(fmt.Sprintf("sptt: %d inputs for %d ranks", len(inputs), cfg.G))
+	}
+	gs := newGroupSet(cfg.G, cfg.L)
+	perm := PeerOrder(cfg.G, cfg.L)
+	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
+	outs := make([]*tensor.Tensor, cfg.G)
+	st := &SPTTState{lookups: make([]*rankLookupState, cfg.G), modules: modules}
+
+	comm.Run(gs.global, func(c *comm.Comm) {
+		rank := c.Rank()
+		_, hostC, peerC := gs.forRank(rank)
+		h := rank / L
+
+		// Steps (a)+(b), optionally with (b) and (c) swapped: either look up
+		// in rank order and permute the embeddings (the Figure 7 flow), or
+		// permute the index payloads and look up directly in peer order.
+		var lookupOrder []int
+		if opt.SwapLookupPermute {
+			lookupOrder = perm
+		}
+		ls, pooled := e.distributeAndLookup(c, inputs[rank], lookupOrder)
+		st.lookups[rank] = ls
+		nOwned := len(ls.features)
+
+		// Step (c): peer permute — reorder each owned feature's source-rank
+		// blocks into peer order. With SkipPermute the reorder is fused into
+		// step (d)'s gather through the index map (virtual process group);
+		// with SwapLookupPermute the blocks already sit in peer order.
+		blockAt := func(i, pos int) []float32 { // pos in peer order
+			src := perm[pos]
+			return pooled[i].Data()[src*B*N : (src+1)*B*N]
+		}
+		switch {
+		case opt.SwapLookupPermute:
+			blockAt = func(i, pos int) []float32 {
+				return pooled[i].Data()[pos*B*N : (pos+1)*B*N]
+			}
+		case !opt.SkipPermute:
+			permuted := make([]*tensor.Tensor, nOwned)
+			for i := range permuted {
+				p := tensor.New(cfg.G, B, N)
+				for pos := 0; pos < cfg.G; pos++ {
+					copy(p.Data()[pos*B*N:(pos+1)*B*N], blockAt(i, pos))
+				}
+				permuted[i] = p
+			}
+			blockAt = func(i, pos int) []float32 {
+				return permuted[i].Data()[pos*B*N : (pos+1)*B*N]
+			}
+		}
+
+		// Step (d): intra-host AlltoAll. To local rank j: for each of my
+		// features, the peer-class-j slice (positions [jT, (j+1)T)).
+		chunks := make([]*tensor.Tensor, L)
+		for j := 0; j < L; j++ {
+			blk := tensor.New(nOwned, T, B, N)
+			for i := 0; i < nOwned; i++ {
+				for k := 0; k < T; k++ {
+					copy(blk.Data()[((i*T+k)*B)*N:((i*T+k)*B+B)*N], blockAt(i, j*T+k))
+				}
+			}
+			chunks[j] = blk
+		}
+		got := hostC.AlltoAllTensors(chunks)
+
+		// Assemble the tower's full feature set for my peer class:
+		// (F_t, T, B, N), features in host order.
+		towerFeats := cfg.TowerFeatures(h)
+		ft := len(towerFeats)
+		towerData := tensor.New(ft, T, B, N)
+		row := 0
+		for j := 0; j < L; j++ {
+			blk := got[j]
+			nj := blk.Dim(0)
+			copy(towerData.Data()[row*T*B*N:(row+nj)*T*B*N], blk.Data())
+			row += nj
+		}
+
+		// Step (e): local data shuffle — (features, peers) -> (peers,
+		// features) transpose, payload (B, N) rides along.
+		shuffled := tensor.Transpose3D01(towerData.Reshape(ft, T, B*N)) // (T, F_t, B*N)
+
+		if modules == nil {
+			// Step (f): peer AlltoAll of the raw tower block.
+			pchunks := make([]*tensor.Tensor, T)
+			for t := 0; t < T; t++ {
+				blk := tensor.New(ft, B, N)
+				copy(blk.Data(), shuffled.Data()[t*ft*B*N:(t+1)*ft*B*N])
+				pchunks[t] = blk
+			}
+			pg := peerC.AlltoAllTensors(pchunks)
+
+			out := tensor.New(B, cfg.F(), N)
+			for t := 0; t < T; t++ {
+				feats := cfg.TowerFeatures(t)
+				for i, f := range feats {
+					blk := pg[t].Data()[i*B*N : (i+1)*B*N]
+					for s := 0; s < B; s++ {
+						copy(out.Data()[(s*cfg.F()+f)*N:(s*cfg.F()+f+1)*N], blk[s*N:(s+1)*N])
+					}
+				}
+			}
+			outs[rank] = out
+			return
+		}
+
+		// Tower module path: per peer block, go sample-major (B, F_t, N),
+		// stack to (T*B, F_t, N), compress, then exchange compressed slices.
+		tmIn := tensor.New(T*B, ft, N)
+		for t := 0; t < T; t++ {
+			for i := 0; i < ft; i++ {
+				for s := 0; s < B; s++ {
+					src := shuffled.Data()[((t*ft+i)*B+s)*N : ((t*ft+i)*B+s+1)*N]
+					dst := tmIn.Data()[(((t*B+s)*ft)+i)*N : (((t*B+s)*ft)+i+1)*N]
+					copy(dst, src)
+				}
+			}
+		}
+		compressed := modules[rank].Forward(tmIn) // (T*B, O_t)
+		oT := modules[rank].OutDim()
+		if compressed.Dim(0) != T*B || compressed.Dim(1) != oT {
+			panic(fmt.Sprintf("sptt: tower module returned %v, want (%d, %d)", compressed.Shape(), T*B, oT))
+		}
+
+		// Step (f) on compressed payloads: slice per peer block.
+		pchunks := make([]*tensor.Tensor, T)
+		for t := 0; t < T; t++ {
+			blk := tensor.New(B, oT)
+			copy(blk.Data(), compressed.Data()[t*B*oT:(t+1)*B*oT])
+			pchunks[t] = blk
+		}
+		pg := peerC.AlltoAllTensors(pchunks)
+
+		// Output: concat tower outputs in tower order: (B, Σ O_t).
+		parts := make([]*tensor.Tensor, T)
+		for t := 0; t < T; t++ {
+			parts[t] = pg[t]
+		}
+		outs[rank] = tensor.Concat(1, parts...)
+	})
+
+	st.GlobalTraffic, st.HostTraffic, st.PeerTraffic = gs.fold()
+	return outs, st, gs
+}

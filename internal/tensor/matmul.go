@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of output elements above which matrix
+// multiplies fan out over goroutines. Small multiplies (the common case in
+// unit tests and tiny models) stay single-threaded to avoid scheduling cost.
+const parallelThreshold = 1 << 14
+
+// MatMul returns a @ b for a of shape (m, k) and b of shape (k, n).
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shapes %v, %v", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	mulRows(m, func(i int) {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		// ikj loop order keeps the inner loop streaming over b's rows.
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}, m*n*k)
+	return out
+}
+
+// MatMulBT returns a @ bᵀ for a of shape (m, k) and b of shape (n, k).
+// This is the natural layout for Linear layers storing weights as
+// (outFeatures, inFeatures).
+func MatMulBT(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulBT shapes %v, %v", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	mulRows(m, func(i int) {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}, m*n*k)
+	return out
+}
+
+// MatMulAT returns aᵀ @ b for a of shape (k, m) and b of shape (k, n).
+// This is the weight-gradient kernel: dW = dYᵀ @ X in (out, in) layout.
+func MatMulAT(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulAT shapes %v, %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	mulRows(m, func(i int) {
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a.data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}, m*n*k)
+	return out
+}
+
+// mulRows runs body(i) for i in [0, m), in parallel when work (a rough flop
+// count) exceeds parallelThreshold.
+func mulRows(m int, body func(i int), work int) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || m <= 1 {
+		for i := 0; i < m; i++ {
+			body(i)
+		}
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// BatchedPairwiseDot computes, for a (B, F, N) tensor, the pairwise dot
+// products between the F feature vectors of every sample: output (B, F, F)
+// with out[b,i,j] = <x[b,i,:], x[b,j,:]>. It is the interaction kernel of
+// DLRM; the paper notes a manual pairwise routine outperforms the generated
+// batched-GEMV kernel for this layout (§4), which is what this is.
+func BatchedPairwiseDot(x *Tensor) *Tensor {
+	if len(x.shape) != 3 {
+		panic("tensor: BatchedPairwiseDot requires a (B,F,N) tensor")
+	}
+	b, f, n := x.shape[0], x.shape[1], x.shape[2]
+	out := New(b, f, f)
+	mulRows(b, func(s int) {
+		base := x.data[s*f*n : (s+1)*f*n]
+		obase := out.data[s*f*f : (s+1)*f*f]
+		for i := 0; i < f; i++ {
+			vi := base[i*n : (i+1)*n]
+			for j := i; j < f; j++ {
+				vj := base[j*n : (j+1)*n]
+				var dot float32
+				for p := 0; p < n; p++ {
+					dot += vi[p] * vj[p]
+				}
+				obase[i*f+j] = dot
+				obase[j*f+i] = dot
+			}
+		}
+	}, b*f*f*n)
+	return out
+}

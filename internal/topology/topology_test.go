@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Values(t *testing.T) {
+	// The exact Table 1 numbers: compute grew 63x while scale-out grew 4x.
+	if V100.PeakTFlops != 15.7 || A100.PeakTFlops != 156 || H100.PeakTFlops != 989 {
+		t.Fatal("Table 1 peak flops wrong")
+	}
+	if V100.ScaleOutGbps != 100 || A100.ScaleOutGbps != 200 || H100.ScaleOutGbps != 400 {
+		t.Fatal("Table 1 scale-out wrong")
+	}
+	if V100.ScaleUpGBps != 150 || A100.ScaleUpGBps != 300 || H100.ScaleUpGBps != 450 {
+		t.Fatal("Table 1 scale-up wrong")
+	}
+	computeGrowth := H100.PeakTFlops / V100.PeakTFlops
+	netGrowth := H100.ScaleOutGbps / V100.ScaleOutGbps
+	if computeGrowth < 60 || netGrowth > 4 {
+		t.Fatalf("§1's divergence claim: compute %vx vs net %vx", computeGrowth, netGrowth)
+	}
+}
+
+func TestBandwidthGapIsLarge(t *testing.T) {
+	for _, g := range Generations() {
+		if g.BandwidthGap() < 9 {
+			t.Fatalf("%s scale-up/scale-out gap %v; hierarchy premise broken", g.Name, g.BandwidthGap())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	g, err := ByName("A100")
+	if err != nil || g.Name != "A100" {
+		t.Fatalf("ByName failed: %v %v", g, err)
+	}
+	if _, err := ByName("TPU"); err == nil {
+		t.Fatal("unknown generation must error")
+	}
+}
+
+func TestClusterLayout(t *testing.T) {
+	c := NewCluster(H100, 64)
+	if c.Hosts != 8 || c.GPUs() != 64 {
+		t.Fatalf("cluster layout wrong: %+v", c)
+	}
+	if c.HostOf(0) != 0 || c.HostOf(7) != 0 || c.HostOf(8) != 1 || c.HostOf(63) != 7 {
+		t.Fatal("HostOf wrong")
+	}
+	if c.LocalIndexOf(13) != 5 {
+		t.Fatal("LocalIndexOf wrong")
+	}
+	if !c.SameHost(0, 7) || c.SameHost(7, 8) {
+		t.Fatal("SameHost wrong")
+	}
+	if !strings.Contains(c.String(), "64xH100") {
+		t.Fatalf("String: %s", c.String())
+	}
+}
+
+func TestClusterRejectsPartialHosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(A100, 12)
+}
+
+func TestSplitTraffic(t *testing.T) {
+	c := Cluster{Gen: A100, Hosts: 2, GPUsPerHost: 2}
+	// 4 ranks: hosts {0,1},{2,3}.
+	m := make([][]int64, 4)
+	for i := range m {
+		m[i] = make([]int64, 4)
+	}
+	m[0][1] = 10 // intra
+	m[0][2] = 20 // cross
+	m[3][2] = 5  // intra
+	m[1][1] = 99 // self: ignored
+	intra, cross := c.SplitTraffic(m)
+	if intra != 15 || cross != 20 {
+		t.Fatalf("SplitTraffic = %d, %d", intra, cross)
+	}
+}
