@@ -1,0 +1,34 @@
+# The targets CI runs are the ones humans run; keep them in sync with
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race fmt fmt-check vet bench bench-smoke serve-demo
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m .
+
+# One iteration of the fast benchmarks: proves they compile and run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^Benchmark(Serve|SPTT|TrainStep|Timeline)_' -benchtime 1x -timeout 20m .
+
+serve-demo:
+	$(GO) run ./cmd/dmt-serve -requests 8192 -concurrency 32

@@ -10,12 +10,14 @@ package dmt_test
 
 import (
 	"testing"
+	"time"
 
 	"dmt/internal/data"
 	"dmt/internal/experiments"
 	"dmt/internal/models"
 	"dmt/internal/nn"
 	"dmt/internal/perfmodel"
+	"dmt/internal/serve"
 	"dmt/internal/sptt"
 	"dmt/internal/tensor"
 	"dmt/internal/topology"
@@ -184,6 +186,81 @@ func BenchmarkTimeline_BaselineVsDMT(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving: unbatched vs micro-batched vs cached throughput ---
+//
+// Each iteration pushes serveReqsPerIter requests through the server from
+// 32 closed-loop zipf clients, so ns/op across the Serve benchmarks compares
+// end-to-end serving throughput directly (lower = higher QPS). The
+// acceptance bar: micro-batched DMT-DLRM ≥ 2x the unbatched path.
+
+const (
+	serveConcurrency = 32
+	serveReqsPerIter = 2048
+	serveUnique      = 512
+)
+
+func serveModel(kind string) models.Predictor {
+	cfg := data.CriteoLike(1)
+	switch kind {
+	case "dlrm":
+		return models.NewDLRM(models.DefaultDLRMConfig(cfg.Schema, 1))
+	case "dmt":
+		towersList := models.RoundRobinTowers(8, cfg.NumSparse())
+		return models.NewDMTDLRM(models.ServingDMTDLRMConfig(cfg.Schema, towersList, 1))
+	default:
+		panic("unknown serve model " + kind)
+	}
+}
+
+func benchServe(b *testing.B, kind string, cfg serve.Config) {
+	gen := data.NewGenerator(data.CriteoLike(1))
+	samples := serve.BuildSamples(gen, serveUnique)
+	srv := serve.NewServer(serveModel(kind), cfg)
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep serve.LoadReport
+	for i := 0; i < b.N; i++ {
+		rep = serve.RunLoad(srv, samples, serve.LoadConfig{
+			Concurrency: serveConcurrency,
+			Requests:    serveReqsPerIter,
+			ZipfS:       1.2,
+			Seed:        uint64(i + 1),
+		})
+	}
+	b.ReportMetric(rep.QPS, "qps")
+	st := srv.Stats()
+	b.ReportMetric(st.Tower.HitRate()*100, "tower-hit-%")
+}
+
+func unbatchedConfig() serve.Config {
+	cfg := serve.DefaultConfig()
+	cfg.MaxBatch = 1
+	return cfg
+}
+
+func microbatchConfig() serve.Config {
+	cfg := serve.DefaultConfig()
+	cfg.MaxBatch = serveConcurrency
+	cfg.MaxWait = time.Millisecond
+	return cfg
+}
+
+func cachedConfig() serve.Config {
+	cfg := microbatchConfig()
+	cfg.EmbCacheEntries = 1 << 14
+	cfg.TowerCacheEntries = 1 << 14
+	return cfg
+}
+
+func BenchmarkServe_DLRM_Unbatched(b *testing.B)    { benchServe(b, "dlrm", unbatchedConfig()) }
+func BenchmarkServe_DLRM_Microbatched(b *testing.B) { benchServe(b, "dlrm", microbatchConfig()) }
+func BenchmarkServe_DLRM_Cached(b *testing.B)       { benchServe(b, "dlrm", cachedConfig()) }
+
+func BenchmarkServe_DMTDLRM_Unbatched(b *testing.B)    { benchServe(b, "dmt", unbatchedConfig()) }
+func BenchmarkServe_DMTDLRM_Microbatched(b *testing.B) { benchServe(b, "dmt", microbatchConfig()) }
+func BenchmarkServe_DMTDLRM_TowerCached(b *testing.B)  { benchServe(b, "dmt", cachedConfig()) }
 
 // --- Microbenchmarks of the core dataflow and training step ---
 

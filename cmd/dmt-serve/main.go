@@ -1,0 +1,91 @@
+// Command dmt-serve runs the online serving benchmark: it stands up the
+// micro-batching inference server over a trained-shape model and drives it
+// with the built-in closed-loop, zipf-skewed load generator, reporting
+// QPS, latency percentiles, batch occupancy, and cache hit rates for the
+// unbatched, micro-batched, and cached serving modes side by side.
+//
+// Usage:
+//
+//	dmt-serve                                  # default comparison table
+//	dmt-serve -requests 20000 -concurrency 64  # heavier load
+//	dmt-serve -table                           # the experiments.ServingTable profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmt/internal/data"
+	"dmt/internal/experiments"
+)
+
+func main() {
+	var (
+		requests    = flag.Int("requests", 8192, "requests per (model, mode) cell")
+		concurrency = flag.Int("concurrency", 32, "closed-loop client goroutines")
+		unique      = flag.Int("unique", 1024, "distinct samples the zipf load draws from")
+		zipfS       = flag.Float64("zipf", 1.2, "zipf skew (>1); higher = hotter head")
+		maxBatch    = flag.Int("max-batch", 32, "micro-batch flush size")
+		maxWait     = flag.Duration("max-wait", time.Millisecond, "micro-batch flush timeout")
+		cacheSize   = flag.Int("cache", 1<<14, "entries per cache (embedding and tower)")
+		towers      = flag.Int("towers", 8, "DMT tower count")
+		table       = flag.Bool("table", false, "run the experiments.ServingTable default profile and exit")
+	)
+	flag.Parse()
+
+	if *table {
+		fmt.Print(experiments.FormatServing(experiments.ServingTable(experiments.DefaultServing())))
+		return
+	}
+
+	cfg := data.CriteoLike(1)
+	if *towers < 1 || *towers > cfg.NumSparse() {
+		fmt.Fprintf(os.Stderr, "dmt-serve: -towers must be in [1,%d] (one nonempty tower per feature group), got %d\n",
+			cfg.NumSparse(), *towers)
+		os.Exit(2)
+	}
+	if *unique < 1 {
+		fmt.Fprintf(os.Stderr, "dmt-serve: -unique must be positive, got %d\n", *unique)
+		os.Exit(2)
+	}
+	p := experiments.ServingProfile{
+		Requests:      *requests,
+		Concurrency:   *concurrency,
+		UniqueSamples: *unique,
+		ZipfS:         *zipfS,
+		MaxBatch:      *maxBatch,
+		MaxWait:       *maxWait,
+		CacheEntries:  *cacheSize,
+		Towers:        *towers,
+	}
+
+	fmt.Printf("workload: %d dense + %d sparse features, %d unique samples, zipf s=%.2f\n",
+		cfg.NumDense, cfg.NumSparse(), p.UniqueSamples, p.ZipfS)
+	fmt.Printf("server: max-batch=%d max-wait=%v cache=%d entries, %d clients, %d requests/cell\n\n",
+		p.MaxBatch, p.MaxWait, p.CacheEntries, p.Concurrency, p.Requests)
+
+	rows := experiments.ServingTable(p)
+	fmt.Print(experiments.FormatServing(rows))
+
+	// The headline DMT numbers: batching speedup and cache speedup.
+	var unbatched, batched, cached *experiments.ServingRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Model == fmt.Sprintf("DMT %dT-DLRM", *towers) {
+			switch r.Mode {
+			case "unbatched":
+				unbatched = r
+			case "microbatch":
+				batched = r
+			case "microbatch+cache":
+				cached = r
+			}
+		}
+	}
+	if unbatched != nil && batched != nil && cached != nil {
+		fmt.Printf("\nDMT micro-batching speedup: %.2fx  (+caches: %.2fx, tower hit rate %.1f%%)\n",
+			batched.QPS/unbatched.QPS, cached.QPS/unbatched.QPS, cached.TowerHitRate*100)
+	}
+}

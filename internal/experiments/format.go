@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // FormatTable1 renders the hardware-generations table.
@@ -125,6 +126,20 @@ func FormatQualityRows(title string, rows []QualityRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-24s %9.4f %9.4f %10.3f %10.3f %9.4f  %s\n",
 			r.Model, r.MedianAUC, r.StdAUC, r.MFlopsPerSample, r.ParamsMillions, r.PaperAUC, r.Note)
+	}
+	return b.String()
+}
+
+// FormatServing renders the serving-throughput comparison.
+func FormatServing(rows []ServingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving throughput: unbatched vs micro-batched vs cached (zipf load)\n")
+	fmt.Fprintf(&b, "%-14s %-18s %10s %10s %10s %10s %9s %8s %8s\n",
+		"Model", "Mode", "QPS", "p50", "p95", "p99", "AvgBatch", "EmbHit", "TwrHit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-18s %10.0f %10s %10s %10s %9.1f %7.1f%% %7.1f%%\n",
+			r.Model, r.Mode, r.QPS, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+			r.P99.Round(time.Microsecond), r.AvgBatch, r.EmbHitRate*100, r.TowerHitRate*100)
 	}
 	return b.String()
 }

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"time"
+
+	"dmt/internal/data"
+	"dmt/internal/models"
+	"dmt/internal/serve"
+)
+
+// The serving-throughput experiment: the repo's counterpart to the paper's
+// training-side tables, measuring what the DMT structure buys at inference
+// time. Each model is served three ways — one request per forward, with the
+// micro-batcher, and with the micro-batcher plus caches — under the same
+// zipf-skewed closed-loop load. The tower-output cache row only exists for
+// DMT: a monolithic interaction has no per-tower intermediate to memoize.
+
+// ServingProfile sizes the serving experiment.
+type ServingProfile struct {
+	Requests      int // per (model, mode) cell
+	Concurrency   int // closed-loop clients
+	UniqueSamples int // id space the zipf load draws from
+	ZipfS         float64
+	MaxBatch      int
+	MaxWait       time.Duration
+	CacheEntries  int
+	Towers        int
+}
+
+// SmokeServing keeps the test suite fast.
+func SmokeServing() ServingProfile {
+	return ServingProfile{
+		Requests:      384,
+		Concurrency:   16,
+		UniqueSamples: 192,
+		ZipfS:         1.3,
+		MaxBatch:      16,
+		MaxWait:       time.Millisecond,
+		CacheEntries:  1 << 12,
+		Towers:        4,
+	}
+}
+
+// DefaultServing is the cmd/dmt-serve default.
+func DefaultServing() ServingProfile {
+	return ServingProfile{
+		Requests:      4096,
+		Concurrency:   32,
+		UniqueSamples: 1024,
+		ZipfS:         1.2,
+		MaxBatch:      32,
+		MaxWait:       time.Millisecond,
+		CacheEntries:  1 << 14,
+		Towers:        8,
+	}
+}
+
+// ServingRow is one (model, serving mode) measurement.
+type ServingRow struct {
+	Model, Mode   string
+	QPS           float64
+	P50, P95, P99 time.Duration
+	AvgBatch      float64
+	EmbHitRate    float64
+	TowerHitRate  float64
+}
+
+// servingModes enumerates the three server configurations under test.
+func servingModes(p ServingProfile) []struct {
+	name string
+	cfg  serve.Config
+} {
+	base := serve.DefaultConfig()
+	base.MaxBatch = p.MaxBatch
+	// A closed loop never has more than Concurrency requests in flight, so
+	// a larger MaxBatch can never fill — every batch would wait out the
+	// MaxWait timer for company that cannot arrive.
+	if base.MaxBatch > p.Concurrency {
+		base.MaxBatch = p.Concurrency
+	}
+	base.MaxWait = p.MaxWait
+
+	unbatched := base
+	unbatched.MaxBatch = 1
+
+	cached := base
+	cached.EmbCacheEntries = p.CacheEntries
+	cached.TowerCacheEntries = p.CacheEntries
+
+	return []struct {
+		name string
+		cfg  serve.Config
+	}{
+		{"unbatched", unbatched},
+		{"microbatch", base},
+		{"microbatch+cache", cached},
+	}
+}
+
+// ServingTable measures DLRM and DMT-DLRM across the serving modes under
+// identical zipf load, returning 6 rows.
+func ServingTable(p ServingProfile) []ServingRow {
+	cfg := data.CriteoLike(1)
+	gen := data.NewGenerator(cfg)
+	samples := serve.BuildSamples(gen, p.UniqueSamples)
+
+	towersList := models.RoundRobinTowers(p.Towers, cfg.NumSparse())
+	preds := []models.Predictor{
+		models.NewDLRM(models.DefaultDLRMConfig(cfg.Schema, 1)),
+		models.NewDMTDLRM(models.ServingDMTDLRMConfig(cfg.Schema, towersList, 1)),
+	}
+
+	var rows []ServingRow
+	for _, m := range preds {
+		for _, mode := range servingModes(p) {
+			srv := serve.NewServer(m, mode.cfg)
+			rep := serve.RunLoad(srv, samples, serve.LoadConfig{
+				Concurrency: p.Concurrency,
+				Requests:    p.Requests,
+				ZipfS:       p.ZipfS,
+				Seed:        7,
+			})
+			st := srv.Stats()
+			srv.Close()
+			rows = append(rows, ServingRow{
+				Model:        m.Name(),
+				Mode:         mode.name,
+				QPS:          rep.QPS,
+				P50:          rep.P50,
+				P95:          rep.P95,
+				P99:          rep.P99,
+				AvgBatch:     st.AvgBatch,
+				EmbHitRate:   st.Emb.HitRate(),
+				TowerHitRate: st.Tower.HitRate(),
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServingTable(t *testing.T) {
+	rows := ServingTable(SmokeServing())
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (2 models x 3 modes)", len(rows))
+	}
+	var dmtCached *ServingRow
+	for i, r := range rows {
+		if r.QPS <= 0 {
+			t.Errorf("row %d (%s/%s): QPS %v, want > 0", i, r.Model, r.Mode, r.QPS)
+		}
+		if r.Mode == "microbatch+cache" && strings.HasPrefix(r.Model, "DMT") {
+			dmtCached = &rows[i]
+		}
+	}
+	if dmtCached == nil {
+		t.Fatal("missing DMT microbatch+cache row")
+	}
+	if dmtCached.TowerHitRate <= 0 {
+		t.Errorf("DMT cached row: tower hit rate %v, want > 0 under zipf load", dmtCached.TowerHitRate)
+	}
+	if dmtCached.EmbHitRate <= 0 {
+		t.Errorf("DMT cached row: embedding hit rate %v, want > 0 under zipf load", dmtCached.EmbHitRate)
+	}
+	out := FormatServing(rows)
+	if !strings.Contains(out, "DMT") || !strings.Contains(out, "microbatch") {
+		t.Fatalf("format output missing expected columns:\n%s", out)
+	}
+}

@@ -76,21 +76,15 @@ func (m *DLRM) Name() string { return "DLRM" }
 // Forward computes logits for a batch.
 func (m *DLRM) Forward(b *data.Batch) *tensor.Tensor {
 	m.lastBatch = b.Size
-	f, n := m.cfg.Schema.NumSparse(), m.cfg.N
 	denseEmb := m.Bottom.Forward(b.Dense) // (B, N)
 	sparse := embedAll(m.Embs, b)         // (B, F, N)
 	// Simulated quantized embedding AlltoAll: the dense network sees the
 	// rounded values, the backward pass is straight-through.
 	sparse = quant.Apply(m.cfg.EmbCommQuant, sparse)
-	// Stack (B, F+1, N): dense embedding first, then sparse features.
-	x := tensor.New(b.Size, f+1, n)
-	for s := 0; s < b.Size; s++ {
-		copy(x.Data()[s*(f+1)*n:s*(f+1)*n+n], denseEmb.Row(s))
-		copy(x.Data()[s*(f+1)*n+n:(s+1)*(f+1)*n], sparse.Data()[s*f*n:(s+1)*f*n])
-	}
-	z := m.Interaction.Forward(x)        // (B, P)
-	top := tensor.Concat(1, denseEmb, z) // (B, N+P)
-	logits := m.Top.Forward(top)         // (B, 1)
+	x := stackDenseSparse(denseEmb, sparse) // (B, F+1, N)
+	z := m.Interaction.Forward(x)           // (B, P)
+	top := tensor.Concat(1, denseEmb, z)    // (B, N+P)
+	logits := m.Top.Forward(top)            // (B, 1)
 	return logits.Reshape(b.Size)
 }
 

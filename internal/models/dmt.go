@@ -40,6 +40,33 @@ func DefaultDMTDLRMConfig(schema data.Schema, towersList [][]int, seed uint64) D
 	}
 }
 
+// RoundRobinTowers deals nFeatures features across nTowers towers — the
+// baseline assignment used when no Tower Partitioner run is available
+// (benchmarks, the serving experiments). nTowers must be in [1, nFeatures]
+// so every tower is nonempty.
+func RoundRobinTowers(nTowers, nFeatures int) [][]int {
+	if nTowers < 1 || nTowers > nFeatures {
+		panic(fmt.Sprintf("models: %d towers for %d features leaves empty towers", nTowers, nFeatures))
+	}
+	out := make([][]int, nTowers)
+	for f := 0; f < nFeatures; f++ {
+		out[f%nTowers] = append(out[f%nTowers], f)
+	}
+	return out
+}
+
+// ServingDMTDLRMConfig is the online-serving configuration: the §5.2.2
+// p-ensemble (p=1, c=0), which collapses each tower to a single derived
+// feature. That maximizes the compression ratio — the global interaction
+// and top MLP shrink with the tower count instead of the feature count —
+// so per-sample kernels are small and the forward is dominated by
+// per-call fixed costs, exactly the regime micro-batching amortizes.
+func ServingDMTDLRMConfig(schema data.Schema, towersList [][]int, seed uint64) DMTDLRMConfig {
+	cfg := DefaultDMTDLRMConfig(schema, towersList, seed)
+	cfg.C, cfg.P = 0, 1
+	return cfg
+}
+
 // DMTDLRM is the DMT counterpart of DLRM.
 type DMTDLRM struct {
 	cfg    DMTDLRMConfig

@@ -1,0 +1,249 @@
+package models
+
+import (
+	"dmt/internal/data"
+	"dmt/internal/nn"
+	"dmt/internal/quant"
+	"dmt/internal/tensor"
+)
+
+// This file is the serving path: forward-only Predict implementations that
+// never touch optimizer or gradient state, so a single model instance can
+// answer many concurrent requests (package serve). Two memoization hooks
+// exploit request skew:
+//
+//   - BagCache memoizes pooled embedding-bag lookups per (table, bag ids) —
+//     applicable to any model.
+//   - TowerCache memoizes per-tower derived features per (tower, bag ids of
+//     the tower's features) — a DMT-only win: because a tower module reads
+//     nothing outside its own feature group, its output for a repeated
+//     feature-group value is reusable across requests, whereas a monolithic
+//     DLRM/DCN interaction mixes all features and caches nothing above the
+//     per-bag level.
+//
+// Cached values are treated as immutable by both sides: Predict copies on
+// read and stores fresh copies on write.
+
+// BagCache memoizes pooled embedding lookups keyed on (table, ids-hash).
+type BagCache interface {
+	GetBag(table int, key uint64) ([]float32, bool)
+	PutBag(table int, key uint64, v []float32)
+}
+
+// TowerCache memoizes per-tower module outputs keyed on (tower, ids-hash).
+type TowerCache interface {
+	GetTower(tower int, key uint64) ([]float32, bool)
+	PutTower(tower int, key uint64, v []float32)
+}
+
+// PredictOptions configures a Predict call. The zero value disables all
+// caching and is always valid.
+type PredictOptions struct {
+	Embeddings BagCache
+	Towers     TowerCache // consulted by DMT models only
+}
+
+// Predictor is the serving-side model interface: a read-only forward pass
+// safe for concurrent use, plus the schema needed to validate requests.
+type Predictor interface {
+	Name() string
+	Schema() data.Schema
+	// Predict maps a batch to logits of shape (B). It is safe for
+	// concurrent callers and leaves training state untouched.
+	Predict(b *data.Batch, opt PredictOptions) *tensor.Tensor
+}
+
+// FNV-1a over int32 id streams; bag lengths are mixed in so concatenated
+// bags of different splits cannot collide when tower keys chain features.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func hashBag(h uint64, bag []int32) uint64 {
+	h ^= uint64(len(bag))
+	h *= fnvPrime
+	for _, id := range bag {
+		h ^= uint64(uint32(id))
+		h *= fnvPrime
+	}
+	return h
+}
+
+// bagOf returns sample s's bag for feature f.
+func bagOf(b *data.Batch, f, s int) []int32 {
+	lo := int(b.Offsets[f][s])
+	hi := len(b.Indices[f])
+	if s+1 < len(b.Offsets[f]) {
+		hi = int(b.Offsets[f][s+1])
+	}
+	return b.Indices[f][lo:hi]
+}
+
+// pooledBagInto fills dst (zeroed, length Dim) with the pooled lookup of one
+// bag, going through the cache when present.
+func pooledBagInto(dst []float32, e *nn.EmbeddingBag, table int, bag []int32, cache BagCache) {
+	if cache == nil {
+		e.PoolBagInto(dst, bag)
+		return
+	}
+	key := hashBag(fnvOffset, bag)
+	if v, ok := cache.GetBag(table, key); ok {
+		copy(dst, v)
+		return
+	}
+	e.PoolBagInto(dst, bag)
+	cache.PutBag(table, key, append([]float32(nil), dst...))
+}
+
+// lookupPooled is the inference counterpart of embedAll: every feature's
+// pooled lookup for a batch, returning (B, F, N), read-only on the tables.
+func lookupPooled(embs []*nn.EmbeddingBag, b *data.Batch, cache BagCache) *tensor.Tensor {
+	f := len(embs)
+	n := embs[0].Dim
+	out := tensor.New(b.Size, f, n)
+	for fi, e := range embs {
+		for s := 0; s < b.Size; s++ {
+			dst := out.Data()[(s*f+fi)*n : (s*f+fi+1)*n]
+			pooledBagInto(dst, e, fi, bagOf(b, fi, s), cache)
+		}
+	}
+	return out
+}
+
+// cachedTowerForward computes one tower's derived features (B, outDim) via
+// fwd, memoizing per-sample output rows keyed on the tower's bag ids. Rows
+// are cacheable because tower modules operate per sample on their own
+// feature group only; misses are gathered into one sub-batch so the module
+// still runs batched.
+func cachedTowerForward(embs []*nn.EmbeddingBag, tower int, feats []int, b *data.Batch,
+	opt PredictOptions, outDim int, fwd func(*tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
+
+	out := tensor.New(b.Size, outDim)
+	// slot[s] is the row of the miss sub-batch that serves sample s, or -1
+	// on a cache hit. Duplicate keys within the batch — the common case
+	// under skewed load — share one slot, so each distinct feature-group
+	// value runs the tower module exactly once.
+	slot := make([]int, b.Size)
+	var miss []int // representative sample per distinct missing key
+	var missKey []uint64
+	if opt.Towers == nil {
+		miss = make([]int, b.Size)
+		for s := range miss {
+			miss[s] = s
+			slot[s] = s
+		}
+	} else {
+		seen := make(map[uint64]int)
+		for s := 0; s < b.Size; s++ {
+			h := fnvOffset
+			for _, f := range feats {
+				h = hashBag(h, bagOf(b, f, s))
+			}
+			if v, ok := opt.Towers.GetTower(tower, h); ok {
+				copy(out.Row(s), v)
+				slot[s] = -1
+				continue
+			}
+			if sl, ok := seen[h]; ok {
+				slot[s] = sl
+				continue
+			}
+			seen[h] = len(miss)
+			slot[s] = len(miss)
+			miss = append(miss, s)
+			missKey = append(missKey, h)
+		}
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	ft := len(feats)
+	n := embs[0].Dim
+	sel := tensor.New(len(miss), ft, n)
+	for mi, s := range miss {
+		for k, f := range feats {
+			dst := sel.Data()[(mi*ft+k)*n : (mi*ft+k+1)*n]
+			pooledBagInto(dst, embs[f], f, bagOf(b, f, s), opt.Embeddings)
+		}
+	}
+	y := fwd(sel) // (len(miss), outDim)
+	for s := 0; s < b.Size; s++ {
+		if slot[s] >= 0 {
+			copy(out.Row(s), y.Row(slot[s]))
+		}
+	}
+	for mi, key := range missKey {
+		opt.Towers.PutTower(tower, key, append([]float32(nil), y.Row(mi)...))
+	}
+	return out
+}
+
+// Schema returns the model's feature layout.
+func (m *DLRM) Schema() data.Schema { return m.cfg.Schema }
+
+// Predict is the read-only forward pass, math-identical to Forward.
+func (m *DLRM) Predict(b *data.Batch, opt PredictOptions) *tensor.Tensor {
+	denseEmb := m.Bottom.ForwardInference(b.Dense)    // (B, N)
+	sparse := lookupPooled(m.Embs, b, opt.Embeddings) // (B, F, N)
+	sparse = quant.Apply(m.cfg.EmbCommQuant, sparse)
+	x := stackDenseSparse(denseEmb, sparse) // (B, F+1, N)
+	z := m.Interaction.ForwardInference(x)
+	top := tensor.Concat(1, denseEmb, z)
+	return m.Top.ForwardInference(top).Reshape(b.Size)
+}
+
+// Schema returns the model's feature layout.
+func (m *DCN) Schema() data.Schema { return m.cfg.Schema }
+
+// Predict is the read-only forward pass, math-identical to Forward.
+func (m *DCN) Predict(b *data.Batch, opt PredictOptions) *tensor.Tensor {
+	sparse := lookupPooled(m.Embs, b, opt.Embeddings)
+	x0 := tensor.Concat(1, b.Dense, sparse.Reshape(b.Size, -1))
+	c := m.Cross.ForwardInference(x0)
+	return m.Deep.ForwardInference(c).Reshape(b.Size)
+}
+
+// Schema returns the model's feature layout.
+func (m *DMTDLRM) Schema() data.Schema { return m.cfg.Schema }
+
+// Predict is the read-only forward pass, math-identical to Forward. With a
+// TowerCache, per-tower derived features are memoized across requests.
+func (m *DMTDLRM) Predict(b *data.Batch, opt PredictOptions) *tensor.Tensor {
+	d := m.cfg.D
+	denseEmb := m.Bottom.ForwardInference(b.Dense)
+	parts := []*tensor.Tensor{denseEmb}
+	for t, feats := range m.cfg.Towers {
+		tm := m.TMs[t]
+		parts = append(parts, cachedTowerForward(m.Embs, t, feats, b, opt, tm.OutDim(), tm.ForwardInference))
+	}
+	flat := tensor.Concat(1, parts...)
+	x := flat.Reshape(b.Size, flat.Dim(1)/d, d)
+	z := m.Interaction.ForwardInference(x)
+	top := tensor.Concat(1, denseEmb, z)
+	return m.Top.ForwardInference(top).Reshape(b.Size)
+}
+
+// Schema returns the model's feature layout.
+func (m *DMTDCN) Schema() data.Schema { return m.cfg.Schema }
+
+// Predict is the read-only forward pass, math-identical to Forward. With a
+// TowerCache, per-tower derived features are memoized across requests.
+func (m *DMTDCN) Predict(b *data.Batch, opt PredictOptions) *tensor.Tensor {
+	parts := []*tensor.Tensor{b.Dense}
+	for t, feats := range m.cfg.Towers {
+		tm := m.TMs[t]
+		parts = append(parts, cachedTowerForward(m.Embs, t, feats, b, opt, tm.OutDim(), tm.ForwardInference))
+	}
+	x0 := tensor.Concat(1, parts...)
+	c := m.Cross.ForwardInference(x0)
+	return m.Deep.ForwardInference(c).Reshape(b.Size)
+}
+
+// Interface conformance checks.
+var (
+	_ Predictor = (*DLRM)(nil)
+	_ Predictor = (*DCN)(nil)
+	_ Predictor = (*DMTDLRM)(nil)
+	_ Predictor = (*DMTDCN)(nil)
+)

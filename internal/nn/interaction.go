@@ -24,10 +24,16 @@ func (d *DotInteraction) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: DotInteraction expects (B,F,N), got %v", x.Shape()))
 	}
 	d.lastX = x
+	return pairwiseUpper(x)
+}
+
+// pairwiseUpper is the interaction kernel shared by the training Forward and
+// the stash-free inference path.
+func pairwiseUpper(x *tensor.Tensor) *tensor.Tensor {
 	b, f, n := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(b, d.OutDim(f))
+	ow := f * (f - 1) / 2
+	out := tensor.New(b, ow)
 	xd, od := x.Data(), out.Data()
-	ow := d.OutDim(f)
 	for s := 0; s < b; s++ {
 		base := xd[s*f*n : (s+1)*f*n]
 		orow := od[s*ow : (s+1)*ow]

@@ -95,7 +95,7 @@ func IterationLatency(cfg SearchConfig, m Mesh) float64 {
 
 	// Dense compute: the global batch's flops spread over all GPUs
 	// regardless of how the mesh slices them (perfect-split optimism).
-	eff := effectiveTFlops(cfg.Cluster.Gen)
+	eff := perfmodel.EffectiveTFlops(cfg.Cluster.Gen)
 	compute := cfg.Model.MFlopsPerSample * 1e6 * float64(globalBatch) / float64(g) / (eff * 1e12)
 
 	// Tensor parallelism: 2 AllReduces per layer over tp ranks of the
@@ -140,21 +140,6 @@ func IterationLatency(cfg SearchConfig, m Mesh) float64 {
 		fabric.Time(netsim.AlltoAll, g, l, gradBytes)
 
 	return compute + tpComm + ppOverhead + dpComm + sparse
-}
-
-// effectiveTFlops mirrors perfmodel's calibration (not exported there; the
-// duplication is one switch statement and keeps the packages decoupled).
-func effectiveTFlops(gen topology.Generation) float64 {
-	switch gen.Name {
-	case "V100":
-		return 7.85
-	case "A100":
-		return 39.0
-	case "H100":
-		return 53.6
-	default:
-		return gen.PeakTFlops * 0.25
-	}
 }
 
 // Search costs every mesh and returns results sorted by latency (the CDF's

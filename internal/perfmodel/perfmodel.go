@@ -131,10 +131,12 @@ func XLRMSpec() ModelSpec {
 	}
 }
 
-// effectiveTFlops is the achieved training throughput per GPU (TF/s),
+// EffectiveTFlops is the achieved training throughput per GPU (TF/s),
 // calibrated as described in the package comment. Newer parts have lower
 // utilization of their (much larger) peaks — the §1 divergence in practice.
-func effectiveTFlops(gen topology.Generation) float64 {
+// It is exported so other cost models (package parallel) share the same
+// calibration instead of keeping a copy.
+func EffectiveTFlops(gen topology.Generation) float64 {
 	switch gen.Name {
 	case "V100":
 		return 7.85 // 50% of 15.7 TF/s
@@ -285,7 +287,7 @@ func Phases(cfg Config) []Phase {
 	}
 	// Forward + backward ≈ 3× forward flops; folded into the calibrated
 	// effective throughput, so compute = fwd flops / effective rate.
-	compute := mflops * 1e6 * float64(cfg.LocalBatch) / (effectiveTFlops(gen) * 1e12)
+	compute := mflops * 1e6 * float64(cfg.LocalBatch) / (EffectiveTFlops(gen) * 1e12)
 
 	embBytes := int(float64(cfg.Model.EmbElemsPerSample*cfg.LocalBatch) * cfg.EmbBytesPerElem)
 	gradBytes := int(float64(cfg.Model.EmbElemsPerSample*cfg.LocalBatch) * cfg.GradBytesPerElem)

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dmt/internal/data"
+	"dmt/internal/models"
+	"dmt/internal/tensor"
+)
+
+// stubModel is a trivial Predictor for scheduler tests: logit = dense[0] +
+// number of ids in the first bag.
+type stubModel struct{ schema data.Schema }
+
+func newStub() *stubModel {
+	return &stubModel{schema: data.Schema{
+		NumDense:      1,
+		Cardinalities: []int{100},
+		HotSizes:      []int{1},
+	}}
+}
+
+func (m *stubModel) Name() string        { return "stub" }
+func (m *stubModel) Schema() data.Schema { return m.schema }
+func (m *stubModel) Predict(b *data.Batch, _ models.PredictOptions) *tensor.Tensor {
+	out := tensor.New(b.Size)
+	for s := 0; s < b.Size; s++ {
+		lo := int(b.Offsets[0][s])
+		hi := len(b.Indices[0])
+		if s+1 < b.Size {
+			hi = int(b.Offsets[0][s+1])
+		}
+		out.Data()[s] = b.Dense.At(s, 0) + float32(hi-lo)
+	}
+	return out
+}
+
+func stubSample(v float32, ids ...int32) Sample {
+	return Sample{Dense: []float32{v}, Indices: [][]int32{ids}}
+}
+
+func TestBatcherFlushOnFull(t *testing.T) {
+	srv := NewServer(newStub(), Config{
+		MaxBatch: 4,
+		MaxWait:  time.Hour, // the timer must never be the flush trigger
+		Workers:  2,
+	})
+	defer srv.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := srv.Predict(stubSample(float32(i), 7))
+			if err != nil {
+				t.Errorf("predict: %v", err)
+				return
+			}
+			if want := float32(i) + 1; got != want {
+				t.Errorf("request %d: got %v, want %v", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Served != n {
+		t.Fatalf("served %d, want %d", st.Served, n)
+	}
+	// With an hour-long wait, every flush must have come from a full batch.
+	if st.Batches != n/4 {
+		t.Fatalf("batches %d, want %d (flush-on-full only)", st.Batches, n/4)
+	}
+	if st.AvgBatch != 4 {
+		t.Fatalf("avg batch %v, want 4", st.AvgBatch)
+	}
+}
+
+func TestBatcherFlushOnTimeout(t *testing.T) {
+	srv := NewServer(newStub(), Config{
+		MaxBatch: 64, // never reached by 3 requests
+		MaxWait:  5 * time.Millisecond,
+		Workers:  1,
+	})
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Predict(stubSample(float32(i), 1, 2)); err != nil {
+				t.Errorf("predict: %v", err)
+			}
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("partial batch was never flushed: flush-on-timeout broken")
+	}
+	if st := srv.Stats(); st.Served != 3 {
+		t.Fatalf("served %d, want 3", st.Served)
+	}
+}
+
+func TestPredictAfterClose(t *testing.T) {
+	srv := NewServer(newStub(), DefaultConfig())
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Predict(stubSample(1, 1)); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestPredictRejectsWrongShape(t *testing.T) {
+	srv := NewServer(newStub(), DefaultConfig())
+	defer srv.Close()
+	if _, err := srv.Predict(Sample{Dense: []float32{1, 2}, Indices: [][]int32{{1}}}); err == nil {
+		t.Fatal("mis-shaped sample was accepted")
+	}
+	// Out-of-range ids must be rejected up front, not panic a worker.
+	if _, err := srv.Predict(stubSample(1, 999)); err == nil {
+		t.Fatal("out-of-range embedding id was accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import "testing"
+
+func put(c *ShardedLRU, key uint64, v float32) { c.Put(key, []float32{v}) }
+
+func TestLRUHitMissAccounting(t *testing.T) {
+	c := NewShardedLRU(8, 1)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	put(c, 1, 10)
+	v, ok := c.Get(1)
+	if !ok || v[0] != 10 {
+		t.Fatalf("got %v %v, want [10] true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewShardedLRU(4, 1) // single shard so LRU order is global
+	for k := uint64(0); k < 4; k++ {
+		put(c, k, float32(k))
+	}
+	put(c, 0, 0) // refresh key 0: key 1 becomes the oldest
+	put(c, 9, 9) // exceeds capacity, evicts key 1
+	if _, ok := c.Get(1); ok {
+		t.Fatal("key 1 should have been evicted")
+	}
+	for _, k := range []uint64{0, 2, 3, 9} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("key %d should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+	if st.Entries != 4 || c.Len() != 4 {
+		t.Fatalf("entries %d len %d, want 4", st.Entries, c.Len())
+	}
+}
+
+func TestLRUShardingKeepsCapacity(t *testing.T) {
+	c := NewShardedLRU(64, 8)
+	for k := uint64(0); k < 1000; k++ {
+		put(c, k, float32(k))
+	}
+	if n := c.Len(); n > 64+8 { // per-shard rounding can add at most one entry per shard
+		t.Fatalf("cache holds %d entries, capacity 64", n)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("overfilled cache reported no evictions")
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	c := NewShardedLRU(0, 8)
+	if c != nil {
+		t.Fatal("zero capacity should yield a nil cache")
+	}
+	c.Put(1, []float32{1}) // all no-ops on nil
+	if _, ok := c.Get(1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats %+v, want zero", st)
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dmt/internal/data"
+)
+
+// The built-in closed-loop load generator: a fixed set of client goroutines
+// each draw sample ids from a zipf-skewed distribution over a pool of
+// deterministic samples, issue a blocking Predict, and record the latency.
+// Zipf skew is what makes the caches earn their keep — hot ids repeat, as
+// hot items and returning users do in production recommendation traffic.
+
+// LoadConfig parameterizes a closed-loop run.
+type LoadConfig struct {
+	Concurrency int     // client goroutines
+	Requests    int     // total requests across all clients
+	ZipfS       float64 // zipf skew (> 1); higher = hotter head
+	Seed        uint64  // per-client RNG derivation
+}
+
+// DefaultLoadConfig is the standard evaluation point: 32 closed-loop
+// clients, moderately skewed ids.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{Concurrency: 32, Requests: 4096, ZipfS: 1.2, Seed: 1}
+}
+
+// LoadReport summarizes one run.
+type LoadReport struct {
+	Requests      int
+	Elapsed       time.Duration
+	QPS           float64
+	P50, P95, P99 time.Duration
+}
+
+// String renders the report one line at a time for logs.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("%d req in %v  qps=%.0f  p50=%v p95=%v p99=%v",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.QPS, r.P50, r.P95, r.P99)
+}
+
+// BuildSamples materializes n deterministic request samples from the
+// synthetic workload generator; sample i is the generator's sample i.
+func BuildSamples(gen *data.Generator, n int) []Sample {
+	cfg := gen.Config()
+	nf := cfg.NumSparse()
+	out := make([]Sample, n)
+	for i := range out {
+		b := gen.Batch(i, 1)
+		sm := Sample{
+			Dense:   append([]float32(nil), b.Dense.Row(0)...),
+			Indices: make([][]int32, nf),
+		}
+		for f := 0; f < nf; f++ {
+			sm.Indices[f] = append([]int32(nil), b.Indices[f]...)
+		}
+		out[i] = sm
+	}
+	return out
+}
+
+// RunLoad drives the server with cfg.Requests blocking predictions from
+// cfg.Concurrency clients drawing zipf-skewed ids over samples.
+func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
+	if len(samples) == 0 {
+		return LoadReport{}
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	perClient := cfg.Requests / cfg.Concurrency
+	if perClient < 1 {
+		perClient = 1
+	}
+	total := perClient * cfg.Concurrency
+
+	lats := make([][]time.Duration, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.Seed)*7919 + int64(c)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(samples)-1))
+			mine := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				sm := samples[zipf.Uint64()]
+				t0 := time.Now()
+				if _, err := s.Predict(sm); err != nil {
+					panic(fmt.Sprintf("serve: load client hit %v", err))
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			lats[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return LoadReport{
+		Requests: total,
+		Elapsed:  elapsed,
+		QPS:      float64(total) / elapsed.Seconds(),
+		P50:      percentile(all, 0.50),
+		P95:      percentile(all, 0.95),
+		P99:      percentile(all, 0.99),
+	}
+}
+
+// percentile reads the q-quantile from sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

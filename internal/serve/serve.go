@@ -1,0 +1,240 @@
+// Package serve is the online inference subsystem: it turns the repo's
+// single-process models into a concurrent prediction service of the shape
+// disaggregated recommendation inference systems study (DisaggRec, Ke et
+// al. 2022; FlexEMR, Huang et al. 2024).
+//
+// Three mechanisms carry the throughput story:
+//
+//   - A micro-batching scheduler coalesces concurrent Predict calls into
+//     batches under a max-batch/max-wait policy and fans them out over a
+//     worker pool, amortizing per-request overhead into one batched forward.
+//   - A sharded LRU cache memoizes pooled embedding-bag lookups keyed on
+//     (table, ids-hash) — applicable to any model.
+//   - A DMT-specific tower-output cache memoizes per-tower module outputs
+//     keyed on the tower's feature-group ids. Because DMT towers are
+//     self-contained functions of their own feature group, repeated groups
+//     (hot items, recurring users) skip the tower module entirely — a reuse
+//     level a monolithic DLRM/DCN interaction cannot expose.
+//
+// The package is driven by cmd/dmt-serve and the BenchmarkServe_* entries
+// in the repo root.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmt/internal/data"
+	"dmt/internal/models"
+	"dmt/internal/tensor"
+)
+
+// Sample is one inference request: the raw dense features plus one id bag
+// per sparse feature.
+type Sample struct {
+	Dense   []float32
+	Indices [][]int32
+}
+
+// Config tunes the server.
+type Config struct {
+	// MaxBatch is the micro-batch flush size; 1 disables batching (each
+	// request runs its own forward).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a partial batch waits
+	// for company before the batch is flushed anyway.
+	MaxWait time.Duration
+	// Workers is the number of concurrent batch executors.
+	Workers int
+	// EmbCacheEntries enables the embedding-bag cache when positive.
+	EmbCacheEntries int
+	// TowerCacheEntries enables the tower-output cache when positive
+	// (effective for DMT models only).
+	TowerCacheEntries int
+	// CacheShards is the lock-sharding factor for both caches.
+	CacheShards int
+}
+
+// DefaultConfig returns a sensible serving configuration: batches of up to
+// 32, a 1 ms batching window, one worker per CPU, caches disabled.
+func DefaultConfig() Config {
+	return Config{
+		MaxBatch:    32,
+		MaxWait:     time.Millisecond,
+		Workers:     runtime.GOMAXPROCS(0),
+		CacheShards: 8,
+	}
+}
+
+// Stats is a snapshot of server activity.
+type Stats struct {
+	Served   uint64 // requests answered
+	Batches  uint64 // forward passes executed
+	AvgBatch float64
+	Emb      CacheStats // embedding-bag cache
+	Tower    CacheStats // tower-output cache
+}
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+type request struct {
+	sample Sample
+	out    chan float32
+}
+
+// Server owns a model and answers Predict calls through the micro-batcher.
+type Server struct {
+	cfg    Config
+	model  models.Predictor
+	schema data.Schema
+	opt    models.PredictOptions
+	emb    *ShardedLRU
+	tower  *ShardedLRU
+
+	work chan []request
+
+	// mu guards closed against in-flight senders on work: every sender
+	// (enqueue, flushExpired) holds the read lock, so once Close has held
+	// the write lock no further sends can start and closing work is safe.
+	mu     sync.RWMutex
+	closed bool
+
+	// pmu guards the micro-batch under construction.
+	pmu     sync.Mutex
+	pending []request
+	ptimer  *time.Timer
+
+	workerWG sync.WaitGroup
+
+	served  atomic.Uint64
+	batches atomic.Uint64
+}
+
+// NewServer starts the batcher and worker pool for model.
+func NewServer(model models.Predictor, cfg Config) *Server {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = time.Millisecond
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.CacheShards < 1 {
+		cfg.CacheShards = 8
+	}
+	s := &Server{
+		cfg:    cfg,
+		model:  model,
+		schema: model.Schema(),
+		emb:    NewShardedLRU(cfg.EmbCacheEntries, cfg.CacheShards),
+		tower:  NewShardedLRU(cfg.TowerCacheEntries, cfg.CacheShards),
+		work:   make(chan []request, cfg.Workers),
+	}
+	if s.emb != nil {
+		s.opt.Embeddings = bagCache{s.emb}
+	}
+	if s.tower != nil {
+		s.opt.Towers = towerCache{s.tower}
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Predict blocks until the sample's logit is computed (or the server is
+// closed before the request could be accepted).
+func (s *Server) Predict(sm Sample) (float32, error) {
+	if len(sm.Dense) != s.schema.NumDense || len(sm.Indices) != s.schema.NumSparse() {
+		return 0, fmt.Errorf("serve: sample has %d dense / %d sparse features, model expects %d / %d",
+			len(sm.Dense), len(sm.Indices), s.schema.NumDense, s.schema.NumSparse())
+	}
+	// Reject out-of-range ids here: past this point the sample is merged
+	// into a shared batch, and a lookup panic in a worker would take down
+	// every co-batched request with it.
+	for f, bag := range sm.Indices {
+		for _, id := range bag {
+			if int(id) < 0 || int(id) >= s.schema.Cardinalities[f] {
+				return 0, fmt.Errorf("serve: feature %d id %d out of range [0,%d)",
+					f, id, s.schema.Cardinalities[f])
+			}
+		}
+	}
+	req := request{sample: sm, out: make(chan float32, 1)}
+	// The read lock pins the closed flag for the duration of the enqueue
+	// (including a flush this request performs): once Close has flipped it
+	// under the write lock, no new send on work can start, and everything
+	// already dispatched is drained and answered.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	s.enqueue(req)
+	s.mu.RUnlock()
+	return <-req.out, nil
+}
+
+// Close stops accepting requests, flushes and answers everything pending,
+// and shuts down the workers. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// No sender can be in flight past this point (all hold the read lock
+	// and re-check closed), so the remainder flush and close are safe.
+	if group := s.takePending(); len(group) > 0 {
+		s.work <- group
+	}
+	close(s.work)
+	s.workerWG.Wait()
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Served:  s.served.Load(),
+		Batches: s.batches.Load(),
+		Emb:     s.emb.Stats(),
+		Tower:   s.tower.Stats(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(st.Served) / float64(st.Batches)
+	}
+	return st
+}
+
+// mergeBatch assembles accepted requests into the models' batch layout.
+func mergeBatch(reqs []request, schema data.Schema) *data.Batch {
+	size := len(reqs)
+	nf := schema.NumSparse()
+	b := &data.Batch{
+		Size:    size,
+		Dense:   tensor.New(size, schema.NumDense),
+		Indices: make([][]int32, nf),
+		Offsets: make([][]int32, nf),
+	}
+	for f := 0; f < nf; f++ {
+		b.Offsets[f] = make([]int32, size)
+	}
+	for i, r := range reqs {
+		copy(b.Dense.Row(i), r.sample.Dense)
+		for f := 0; f < nf; f++ {
+			b.Offsets[f][i] = int32(len(b.Indices[f]))
+			b.Indices[f] = append(b.Indices[f], r.sample.Indices[f]...)
+		}
+	}
+	return b
+}

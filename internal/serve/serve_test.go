@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"dmt/internal/data"
+	"dmt/internal/models"
+)
+
+func newTestDLRM(cfg data.Config) *models.DLRM {
+	return models.NewDLRM(models.DefaultDLRMConfig(cfg.Schema, 1))
+}
+
+func newTestDMTDLRM(cfg data.Config, nTowers int) *models.DMTDLRM {
+	return models.NewDMTDLRM(models.DefaultDMTDLRMConfig(
+		cfg.Schema, models.RoundRobinTowers(nTowers, cfg.NumSparse()), 1))
+}
+
+// servePredictAll pushes every sample through the server concurrently and
+// returns the logits in sample order.
+func servePredictAll(t *testing.T, srv *Server, samples []Sample) []float32 {
+	t.Helper()
+	out := make([]float32, len(samples))
+	var wg sync.WaitGroup
+	for i := range samples {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := srv.Predict(samples[i])
+			if err != nil {
+				t.Errorf("predict %d: %v", i, err)
+				return
+			}
+			out[i] = v
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestServedPredictionsMatchForward proves the whole serving path — sample
+// split, micro-batch merge, inference forward, caches — computes the same
+// function as the training Forward, for single-hot (CriteoLike) and
+// multi-hot (XLRMMini) workloads.
+func TestServedPredictionsMatchForward(t *testing.T) {
+	type tcase struct {
+		name  string
+		cfg   data.Config
+		model models.Predictor
+		fwd   func(*data.Batch) []float32
+	}
+	criteo := data.CriteoLike(3)
+	dlrm := newTestDLRM(criteo)
+	dmt := newTestDMTDLRM(criteo, 4)
+	xlrm := data.XLRMMini(5)
+	dmtMulti := newTestDMTDLRM(xlrm, 3)
+	cases := []tcase{
+		{"DLRM", criteo, dlrm, func(b *data.Batch) []float32 { return dlrm.Forward(b).Data() }},
+		{"DMT-DLRM", criteo, dmt, func(b *data.Batch) []float32 { return dmt.Forward(b).Data() }},
+		{"DMT-DLRM/multihot", xlrm, dmtMulti, func(b *data.Batch) []float32 { return dmtMulti.Forward(b).Data() }},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gen := data.NewGenerator(tc.cfg)
+			const n = 48
+			want := tc.fwd(gen.Batch(0, n))
+			samples := BuildSamples(gen, n)
+
+			srv := NewServer(tc.model, Config{
+				MaxBatch:          8,
+				MaxWait:           2 * time.Millisecond,
+				Workers:           4,
+				EmbCacheEntries:   1 << 12,
+				TowerCacheEntries: 1 << 12,
+			})
+			defer srv.Close()
+
+			// Two passes: cold caches, then warm — both must agree with Forward.
+			for pass := 0; pass < 2; pass++ {
+				got := servePredictAll(t, srv, samples)
+				for i := range got {
+					if math.Abs(float64(got[i]-want[i])) > 1e-5 {
+						t.Fatalf("pass %d sample %d: served %v, Forward %v", pass, i, got[i], want[i])
+					}
+				}
+			}
+			if st := srv.Stats(); st.Emb.Hits == 0 {
+				t.Fatal("warm pass produced no embedding-cache hits")
+			}
+		})
+	}
+}
+
+// TestConcurrentPredictRace hammers one server from many goroutines with
+// caching and batching on; run under -race this is the thread-safety proof
+// for the forward-only inference path.
+func TestConcurrentPredictRace(t *testing.T) {
+	cfg := data.CriteoLike(7)
+	gen := data.NewGenerator(cfg)
+	m := newTestDMTDLRM(cfg, 4)
+
+	const unique = 32
+	samples := BuildSamples(gen, unique)
+	want := m.Predict(gen.Batch(0, unique), models.PredictOptions{}).Data()
+
+	srv := NewServer(m, Config{
+		MaxBatch:          16,
+		MaxWait:           500 * time.Microsecond,
+		Workers:           4,
+		EmbCacheEntries:   512,
+		TowerCacheEntries: 512,
+	})
+	defer srv.Close()
+
+	const goroutines, perG = 16, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				idx := (g*perG + i*13) % unique
+				v, err := srv.Predict(samples[idx])
+				if err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				if math.Abs(float64(v-want[idx])) > 1e-5 {
+					t.Errorf("sample %d: got %v, want %v", idx, v, want[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	// Stats must be safe to read while the hammer runs.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				srv.Stats()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+
+	if st := srv.Stats(); st.Served != goroutines*perG {
+		t.Fatalf("served %d, want %d", st.Served, goroutines*perG)
+	}
+}
+
+// TestZipfLoadHitsTowerCache runs the closed-loop generator against a DMT
+// server and checks the skewed id distribution turns into tower-cache hits.
+func TestZipfLoadHitsTowerCache(t *testing.T) {
+	cfg := data.CriteoLike(11)
+	gen := data.NewGenerator(cfg)
+	m := newTestDMTDLRM(cfg, 4)
+
+	srv := NewServer(m, Config{
+		MaxBatch:          16,
+		MaxWait:           time.Millisecond,
+		Workers:           2,
+		EmbCacheEntries:   1 << 12,
+		TowerCacheEntries: 1 << 12,
+	})
+	defer srv.Close()
+
+	samples := BuildSamples(gen, 256)
+	rep := RunLoad(srv, samples, LoadConfig{Concurrency: 8, Requests: 512, ZipfS: 1.3, Seed: 1})
+	if rep.QPS <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible report: %v", rep)
+	}
+	st := srv.Stats()
+	if st.Tower.Hits == 0 {
+		t.Fatalf("zipf load produced no tower-cache hits: %+v", st.Tower)
+	}
+	if st.Tower.HitRate() <= 0 {
+		t.Fatalf("tower hit rate %v, want > 0", st.Tower.HitRate())
+	}
+}

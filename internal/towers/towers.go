@@ -78,6 +78,27 @@ func (t *DLRMTower) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.Concat(1, parts...)
 }
 
+// ForwardInference maps (S, F, N) to (S, OutDim) without caching training
+// state, so one module instance can serve concurrent read-only predictions.
+func (t *DLRMTower) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(1) != t.F || x.Dim(2) != t.N {
+		panic(fmt.Sprintf("towers: DLRM tower expects (S,%d,%d), got %v", t.F, t.N, x.Shape()))
+	}
+	s := x.Dim(0)
+	var parts []*tensor.Tensor
+	if t.Flat != nil {
+		parts = append(parts, t.Flat.ForwardInference(x.Reshape(s, t.F*t.N)))
+	}
+	if t.PerFeature != nil {
+		o2 := t.PerFeature.ForwardInference(x.Reshape(s*t.F, t.N))
+		parts = append(parts, o2.Reshape(s, t.F*t.C*t.D))
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return tensor.Concat(1, parts...)
+}
+
 // Backward maps dY (S, OutDim) to dX (S, F, N).
 func (t *DLRMTower) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	s := t.lastS
@@ -147,6 +168,16 @@ func (t *DCNTower) Forward(x *tensor.Tensor) *tensor.Tensor {
 	s := x.Dim(0)
 	o := t.Cross.Forward(x.Reshape(s, t.F*t.N))
 	return t.Proj.Forward(o)
+}
+
+// ForwardInference maps (S, F, N) to (S, F·D) without caching training state.
+func (t *DCNTower) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(1) != t.F || x.Dim(2) != t.N {
+		panic(fmt.Sprintf("towers: DCN tower expects (S,%d,%d), got %v", t.F, t.N, x.Shape()))
+	}
+	s := x.Dim(0)
+	o := t.Cross.ForwardInference(x.Reshape(s, t.F*t.N))
+	return t.Proj.ForwardInference(o)
 }
 
 // Backward maps dY (S, F·D) to dX (S, F, N).
