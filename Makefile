@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train serve-demo
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,11 @@ bench:
 
 # One iteration of the fast benchmarks: proves they compile and run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '^Benchmark(Serve|SPTT|TrainStep|Timeline)_' -benchtime 1x -timeout 20m .
+	$(GO) test -run '^$$' -bench '^(Benchmark(Serve|SPTT|TrainStep|Timeline)_|BenchmarkDistributedStep)' -benchtime 1x -timeout 20m .
+
+# The distributed-training engine comparison: sequential vs rank-parallel.
+bench-train:
+	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep' -benchtime 5x -timeout 20m .
 
 serve-demo:
 	$(GO) run ./cmd/dmt-serve -requests 8192 -concurrency 32

@@ -9,6 +9,7 @@
 package dmt_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -315,6 +316,47 @@ func BenchmarkSPTT_TransformDataflow(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.SPTTForward(inputs, sptt.Options{})
+	}
+}
+
+// BenchmarkDistributedStep compares the single-goroutine reference step
+// against the rank-parallel engine at G=4 and G=8 (2 hosts and 4 hosts of
+// 2 ranks). Both execute identical mathematics over the same batches, so
+// ns/op is a direct engine comparison; on a multi-core runner the
+// rank-parallel step should win by ≥1.5x at G=8.
+func BenchmarkDistributedStep(b *testing.B) {
+	for _, g := range []int{4, 8} {
+		for _, mode := range []struct {
+			name       string
+			sequential bool
+		}{
+			{"sequential", true},
+			{"rank-parallel", false},
+		} {
+			b.Run(fmt.Sprintf("%s/G=%d", mode.name, g), func(b *testing.B) {
+				p := experiments.DefaultTraining()
+				p.G = g
+				tr, gen, err := experiments.NewTrainer(p, mode.sequential)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Cycle a small set of pre-materialized step batches so data
+				// generation stays out of the timed loop.
+				const nSets = 4
+				sets := make([][]*data.Batch, nSets)
+				for i := range sets {
+					sets[i] = experiments.TrainingBatches(gen, p, i)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.Step(sets[i%nSets])
+				}
+				b.StopTimer()
+				st := tr.Stats()
+				b.ReportMetric(float64(st.Steps)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
 	}
 }
 

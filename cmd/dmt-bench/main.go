@@ -1,6 +1,8 @@
 // Command dmt-bench regenerates the paper's throughput tables and figures
 // from the calibrated performance model: Table 1, Figures 1, 5, 6, 10, 11,
-// 12, 13, the §6 quantization comparison, and the K-host-towers ablation.
+// 12, 13, the §6 quantization comparison, and the K-host-towers ablation —
+// plus the measured distributed-training engine comparison (-exp train),
+// which times real sequential vs rank-parallel steps on this machine.
 //
 // Usage:
 //
@@ -37,6 +39,9 @@ var runners = map[string]func() string{
 	"fig13": func() string { return experiments.FormatFigure13(experiments.Figure13()) },
 	"quant": func() string { return experiments.FormatQuantXLRM(experiments.QuantXLRM()) },
 	"khost": func() string { return experiments.FormatTowerHostsAblation(experiments.TowerHostsAblation()) },
+	"train": func() string {
+		return experiments.FormatTraining(experiments.TrainingThroughput(experiments.DefaultTraining()))
+	},
 	"timeline": func() string {
 		c := topology.NewCluster(topology.H100, 64)
 		return trace.Compare(
@@ -46,7 +51,7 @@ var runners = map[string]func() string{
 }
 
 // order fixes the presentation sequence for the "run everything" mode.
-var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "quant", "khost", "timeline"}
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "quant", "khost", "train", "timeline"}
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")

@@ -104,6 +104,28 @@ func TrafficMatrix(comms []*Comm) [][]int64 {
 	return out
 }
 
+// SplitByHost splits a global-rank-indexed (src, dst) traffic matrix into
+// intra-host (NVLink in the real system) and cross-host (RDMA) byte totals,
+// given l ranks per host. Self-deliveries (the diagonal) carry no wire
+// traffic and are excluded from both totals.
+func SplitByHost(m [][]int64, l int) (intra, cross int64) {
+	if l <= 0 {
+		panic(fmt.Sprintf("comm: %d ranks per host", l))
+	}
+	for s := range m {
+		for d, b := range m[s] {
+			switch {
+			case s == d:
+			case s/l == d/l:
+				intra += b
+			default:
+				cross += b
+			}
+		}
+	}
+	return intra, cross
+}
+
 func (c *Comm) send(dst int, v any, nbytes int) {
 	c.g.sent[c.rank][dst] += int64(nbytes)
 	c.g.mail[dst][c.rank] <- v

@@ -254,3 +254,43 @@ func TestQuickAlltoAllInvolution(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitByHost(t *testing.T) {
+	// 4 ranks, 2 per host: hosts {0,1} and {2,3}.
+	m := [][]int64{
+		{9, 1, 2, 3}, // diagonal 9 must be ignored
+		{4, 0, 5, 6},
+		{7, 8, 0, 10},
+		{11, 12, 13, 0},
+	}
+	intra, cross := SplitByHost(m, 2)
+	if want := int64(1 + 4 + 10 + 13); intra != want {
+		t.Fatalf("intra = %d, want %d", intra, want)
+	}
+	if want := int64(2 + 3 + 5 + 6 + 7 + 8 + 11 + 12); cross != want {
+		t.Fatalf("cross = %d, want %d", cross, want)
+	}
+	// With every rank on one host, all off-diagonal traffic is intra-host.
+	intra, cross = SplitByHost(m, 4)
+	if cross != 0 || intra != 82 {
+		t.Fatalf("single host: intra %d cross %d, want 82 and 0", intra, cross)
+	}
+}
+
+func TestSplitByHostMatchesMeasuredAllReduce(t *testing.T) {
+	comms := NewGroup(4)
+	r := tensor.NewRNG(3)
+	xs := make([]*tensor.Tensor, 4)
+	for i := range xs {
+		xs[i] = tensor.RandN(r, 1, 8)
+	}
+	Run(comms, func(c *Comm) {
+		c.AllReduceSum(xs[c.Rank()])
+	})
+	intra, cross := SplitByHost(TrafficMatrix(comms), 2)
+	// Each rank sends its 32-byte tensor to 1 intra-host and 2 cross-host
+	// peers (self-delivery excluded).
+	if intra != 4*32 || cross != 4*2*32 {
+		t.Fatalf("intra %d cross %d, want 128 and 256", intra, cross)
+	}
+}

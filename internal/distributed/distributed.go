@@ -4,16 +4,29 @@
 // with intra-host gradient reduction (§3.2), and the over-arch runs fully
 // data-parallel with a global gradient average (§2.2).
 //
+// The training engine is rank-parallel: every phase of a step runs one
+// goroutine per rank under comm.Run, exactly like the SPTT dataflow — dense
+// forward/backward per rank, over-arch gradient averaging via a real
+// AllReduce on the global group, tower-module gradients reduced intra-host
+// inside SPTTBackward, and sparse updates applied by each table's owner
+// rank. A sequential reference step (Config.Sequential) executes the same
+// mathematics in a single goroutine with centralized averaging loops, for
+// benchmarking and as a bitwise cross-check.
+//
 // Gradients are normalized so that one distributed step over G ranks with
 // local batch B is mathematically identical to one single-process step over
 // the concatenated global batch of G·B samples — the package test verifies
 // the two trajectories agree step for step, which is the training-paradigm
 // counterpart of the sptt package's forward/backward equivalence theorems.
+// Because the comm runtime reduces in source-rank order, the rank-parallel
+// and sequential paths are bitwise identical, not merely close.
 package distributed
 
 import (
 	"fmt"
+	"time"
 
+	"dmt/internal/comm"
 	"dmt/internal/data"
 	"dmt/internal/models"
 	"dmt/internal/nn"
@@ -35,6 +48,10 @@ type Config struct {
 	SparseLR float32
 	// Seed drives table initialization.
 	Seed uint64
+	// Sequential selects the single-goroutine reference step instead of the
+	// rank-parallel engine. Both follow bitwise-identical trajectories; the
+	// sequential path exists as the benchmark baseline and cross-check.
+	Sequential bool
 }
 
 // Trainer holds the replicas, the dataflow engine, and optimizer state.
@@ -47,6 +64,48 @@ type Trainer struct {
 	denseOpts []*nn.Adam
 	sparseOpt *nn.SparseAdam
 	loss      []*nn.BCEWithLogits
+
+	// world is the persistent global group the rank-parallel step uses for
+	// dense compute and the over-arch gradient AllReduce; its cumulative
+	// traffic counters feed Stats.
+	world []*comm.Comm
+	// tmReduceBytes is the per-step wire volume of the intra-tower gradient
+	// AllReduce that SPTTBackward performs on the host groups: per rank and
+	// parameter, (L-1) copies of the gradient leave the rank.
+	tmReduceBytes int64
+	stats         Stats
+}
+
+// PhaseTimes is cumulative wall-clock per step phase.
+type PhaseTimes struct {
+	// EmbComm covers the SPTT embedding dataflow: forward distribution with
+	// tower-module compression plus the backward pass (which also carries
+	// the intra-tower gradient reduction).
+	EmbComm time.Duration
+	// Dense covers per-rank over-arch forward/backward and loss.
+	Dense time.Duration
+	// GradExchange covers over-arch gradient averaging and the tower/sparse
+	// gradient normalization.
+	GradExchange time.Duration
+	// Update covers dense optimizer steps and owner-applied sparse updates.
+	Update time.Duration
+}
+
+// Stats reports cumulative step counts, per-phase times, and gradient /
+// embedding wire volumes split by fabric (intra-host NVLink vs cross-host
+// RDMA), the split the paper's whole argument is about.
+type Stats struct {
+	Steps  int
+	Phases PhaseTimes
+	// Gradient synchronization bytes: the over-arch AllReduce (measured on
+	// the world group) plus the intra-tower reduction (always intra-host).
+	// The sequential reference path exchanges dense gradients through
+	// memory, so only the tower-module share appears there.
+	GradIntraHostBytes int64
+	GradCrossHostBytes int64
+	// Embedding dataflow bytes: SPTT forward and backward, all fabrics.
+	EmbIntraHostBytes int64
+	EmbCrossHostBytes int64
 }
 
 // TowersInHostOrder converts a tower partition into the feature order the
@@ -88,6 +147,11 @@ func New(cfg Config) (*Trainer, error) {
 		tr.denseOpts = append(tr.denseOpts, nn.NewAdam(cfg.DenseLR))
 		tr.loss = append(tr.loss, &nn.BCEWithLogits{})
 	}
+	for g := 0; g < cfg.G; g++ {
+		for _, p := range tr.modules[g].Params() {
+			tr.tmReduceBytes += int64(cfg.L-1) * 4 * int64(p.Grad.Len())
+		}
+	}
 
 	// The dataflow engine owns the canonical tables; seed them from replica
 	// 0 so a single-process golden model with the same model seed matches.
@@ -110,7 +174,13 @@ func New(cfg Config) (*Trainer, error) {
 	for f, e := range tr.replicas[0].Embs {
 		eng.Tables[f].Table.CopyFrom(e.Table)
 	}
+	// Prime every table's optimizer state so concurrent owner ranks never
+	// write the SparseAdam state map (see its concurrency contract).
+	for _, e := range eng.Tables {
+		tr.sparseOpt.Prime(e)
+	}
 	tr.engine = eng
+	tr.world = comm.NewGroup(cfg.G)
 	return tr, nil
 }
 
@@ -119,6 +189,15 @@ func (tr *Trainer) Engine() *sptt.Engine { return tr.engine }
 
 // Replica returns rank g's model replica.
 func (tr *Trainer) Replica(g int) *models.DMTDLRM { return tr.replicas[g] }
+
+// Stats returns cumulative step statistics.
+func (tr *Trainer) Stats() Stats {
+	s := tr.stats
+	intra, cross := comm.SplitByHost(comm.TrafficMatrix(tr.world), tr.cfg.L)
+	s.GradIntraHostBytes = intra + int64(s.Steps)*tr.tmReduceBytes
+	s.GradCrossHostBytes = cross
+	return s
+}
 
 // StepResult summarizes one distributed step.
 type StepResult struct {
@@ -138,31 +217,134 @@ func (tr *Trainer) Step(batches []*data.Batch) StepResult {
 	for g, b := range batches {
 		inputs[g] = &sptt.Inputs{Indices: b.Indices, Offsets: b.Offsets}
 	}
+	if cfg.Sequential {
+		return tr.stepSequential(batches, inputs)
+	}
+	return tr.stepParallel(batches, inputs)
+}
 
-	// Forward: embedding distribution + tower modules (distributed), then
-	// the dense over-arch per rank.
+// denseRank is rank g's share of the dense phase — over-arch forward, loss,
+// and backward on the rank-local replica. Both engines call it (from a plain
+// loop or from one goroutine per rank under comm.Run), so the seq/parallel
+// bitwise equivalence of the dense mathematics holds by construction.
+func (tr *Trainer) denseRank(g int, batches []*data.Batch, compressed, dCompressed []*tensor.Tensor, res *StepResult) {
+	m := tr.replicas[g]
+	for _, p := range m.DenseParams() {
+		p.ZeroGrad()
+	}
+	logits := m.ForwardDense(batches[g].Dense, compressed[g])
+	res.PerRankLoss[g] = tr.loss[g].Forward(logits, batches[g].Labels)
+	dCompressed[g] = m.BackwardDense(tr.loss[g].Backward())
+}
+
+// stepParallel is the rank-parallel engine: four phases, each with one
+// goroutine per rank. The SPTT phases build their own communicator families;
+// the dense phases share the trainer's persistent world group.
+func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
+	cfg := tr.cfg
+	t0 := time.Now()
 	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{})
+	t1 := time.Now()
+
+	// Dense forward/backward, one goroutine per rank. Replicas, losses, and
+	// per-rank result slots are disjoint, so no synchronization beyond the
+	// Run join is needed.
 	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
 	dCompressed := make([]*tensor.Tensor, cfg.G)
+	comm.Run(tr.world, func(c *comm.Comm) {
+		tr.denseRank(c.Rank(), batches, compressed, dCompressed, &res)
+	})
+	// Summed in rank order after the join so the mean is deterministic.
 	for g := 0; g < cfg.G; g++ {
-		m := tr.replicas[g]
-		for _, p := range m.DenseParams() {
-			p.ZeroGrad()
-		}
-		logits := m.ForwardDense(batches[g].Dense, compressed[g])
-		res.PerRankLoss[g] = tr.loss[g].Forward(logits, batches[g].Labels)
 		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
-		dCompressed[g] = m.BackwardDense(tr.loss[g].Backward())
 	}
+	t2 := time.Now()
 
 	// Backward through the dataflow: tower-module gradients are reduced
 	// intra-host inside SPTTBackward; sparse gradients land at the owners.
 	sparse := tr.engine.SPTTBackward(st, dCompressed)
+	t3 := time.Now()
 
 	// Gradient normalization to the global-batch mean (see package doc):
-	// over-arch gradients average across all ranks; tower-module gradients
-	// arrive host-summed over all G·B samples and divide by G; sparse
-	// gradients likewise.
+	// over-arch gradients average across all ranks via AllReduce (the comm
+	// runtime reduces in source-rank order, so every rank's result is
+	// bit-identical to the sequential path's centralized average);
+	// tower-module gradients arrive host-summed over all G·B samples and
+	// divide by G; sparse gradients likewise, scaled by their owner.
+	invG := 1 / float32(cfg.G)
+	comm.Run(tr.world, func(c *comm.Comm) {
+		g := c.Rank()
+		for _, p := range tr.replicas[g].OverArchParams() {
+			// Clone before sending: collectives deliver by reference and
+			// p.Grad is overwritten while peers may still be reading.
+			avg := c.AllReduceSum(p.Grad.Clone())
+			for i, v := range avg.Data() {
+				avg.Data()[i] = v * invG
+			}
+			p.Grad.CopyFrom(avg)
+		}
+		for _, p := range tr.modules[g].Params() {
+			d := p.Grad.Data()
+			for i := range d {
+				d[i] *= invG
+			}
+		}
+		for _, f := range tr.engine.Cfg.OwnedFeatures(g) {
+			if sg := sparse[f]; sg != nil {
+				d := sg.Grads.Data()
+				for i := range d {
+					d[i] *= invG
+				}
+			}
+		}
+	})
+	t4 := time.Now()
+
+	// Updates: each rank steps its over-arch and its own tower module; each
+	// owner rank applies sparse updates to its canonical tables (tables are
+	// disjoint across owners and the optimizer state is primed).
+	comm.Run(tr.world, func(c *comm.Comm) {
+		g := c.Rank()
+		params := append(append([]*nn.Param(nil), tr.replicas[g].OverArchParams()...),
+			tr.modules[g].Params()...)
+		tr.denseOpts[g].Step(params)
+		for _, f := range tr.engine.Cfg.OwnedFeatures(g) {
+			if sg := sparse[f]; sg != nil && len(sg.Rows) > 0 {
+				tr.sparseOpt.Step(tr.engine.Tables[f], sg)
+			}
+		}
+	})
+	t5 := time.Now()
+
+	tr.account(st, PhaseTimes{
+		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
+		Dense:        t2.Sub(t1),
+		GradExchange: t4.Sub(t3),
+		Update:       t5.Sub(t4),
+	})
+	return res
+}
+
+// stepSequential is the single-goroutine reference: identical mathematics,
+// with the dense phases executed rank by rank and gradients averaged through
+// centralized cross-replica loops instead of collectives.
+func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
+	cfg := tr.cfg
+	t0 := time.Now()
+	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{})
+	t1 := time.Now()
+
+	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
+	dCompressed := make([]*tensor.Tensor, cfg.G)
+	for g := 0; g < cfg.G; g++ {
+		tr.denseRank(g, batches, compressed, dCompressed, &res)
+		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
+	}
+	t2 := time.Now()
+
+	sparse := tr.engine.SPTTBackward(st, dCompressed)
+	t3 := time.Now()
+
 	invG := 1 / float32(cfg.G)
 	overArch := make([][]*nn.Param, cfg.G)
 	for g := 0; g < cfg.G; g++ {
@@ -194,9 +376,8 @@ func (tr *Trainer) Step(batches []*data.Batch) StepResult {
 			d[i] *= invG
 		}
 	}
+	t4 := time.Now()
 
-	// Updates: each rank steps its over-arch and its own tower module; the
-	// owner applies sparse updates to the canonical tables.
 	for g := 0; g < cfg.G; g++ {
 		params := append(append([]*nn.Param(nil), overArch[g]...), tr.modules[g].Params()...)
 		tr.denseOpts[g].Step(params)
@@ -206,7 +387,36 @@ func (tr *Trainer) Step(batches []*data.Batch) StepResult {
 			tr.sparseOpt.Step(tr.engine.Tables[f], sg)
 		}
 	}
+	t5 := time.Now()
+
+	tr.account(st, PhaseTimes{
+		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
+		Dense:        t2.Sub(t1),
+		GradExchange: t4.Sub(t3),
+		Update:       t5.Sub(t4),
+	})
 	return res
+}
+
+// account folds one step's phase times and SPTT traffic into the cumulative
+// stats. The intra-tower gradient reduction rides SPTTBackward's host
+// groups, so its (analytically known, purely intra-host) volume is moved
+// from the embedding counters to the gradient counters.
+func (tr *Trainer) account(st *sptt.SPTTState, ph PhaseTimes) {
+	tr.stats.Steps++
+	tr.stats.Phases.EmbComm += ph.EmbComm
+	tr.stats.Phases.Dense += ph.Dense
+	tr.stats.Phases.GradExchange += ph.GradExchange
+	tr.stats.Phases.Update += ph.Update
+	for _, m := range [][][]int64{
+		st.GlobalTraffic, st.HostTraffic, st.PeerTraffic,
+		st.BwdGlobalTraffic, st.BwdHostTraffic, st.BwdPeerTraffic,
+	} {
+		intra, cross := comm.SplitByHost(m, tr.cfg.L)
+		tr.stats.EmbIntraHostBytes += intra
+		tr.stats.EmbCrossHostBytes += cross
+	}
+	tr.stats.EmbIntraHostBytes -= tr.tmReduceBytes
 }
 
 // ReplicasInSync checks that every rank's over-arch parameters and every

@@ -166,6 +166,112 @@ func TestDistributedLossDecreases(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSequentialBitwise is the refactor's regression proof:
+// the rank-parallel engine and the single-goroutine reference step must
+// produce bitwise-identical parameters, tables, and losses — not merely
+// close ones — because the comm runtime reduces in source-rank order.
+func TestParallelMatchesSequentialBitwise(t *testing.T) {
+	cfg, gen := testSetup(7)
+	seqCfg := cfg
+	seqCfg.Sequential = true
+	par, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := New(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 5
+	for step := 0; step < steps; step++ {
+		_, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
+		rp := par.Step(locals)
+		rs := seq.Step(locals)
+		if rp.MeanLoss != rs.MeanLoss {
+			t.Fatalf("step %d: parallel loss %v != sequential %v", step, rp.MeanLoss, rs.MeanLoss)
+		}
+		for g := 0; g < cfg.G; g++ {
+			if rp.PerRankLoss[g] != rs.PerRankLoss[g] {
+				t.Fatalf("step %d rank %d: loss %v != %v", step, g, rp.PerRankLoss[g], rs.PerRankLoss[g])
+			}
+		}
+	}
+	for g := 0; g < cfg.G; g++ {
+		pp := par.Replica(g).DenseParams()
+		sp := seq.Replica(g).DenseParams()
+		for pi := range pp {
+			if !pp[pi].Value.Equal(sp[pi].Value) {
+				t.Fatalf("rank %d param %s differs between engines", g, pp[pi].Name)
+			}
+		}
+	}
+	for f := range par.Engine().Tables {
+		if !par.Engine().Tables[f].Table.Equal(seq.Engine().Tables[f].Table) {
+			t.Fatalf("table %d differs between engines", f)
+		}
+	}
+}
+
+// TestRankParallelStepConcurrency drives the rank-parallel step at G=8 so
+// `go test -race` exercises every concurrent interaction: parallel dense
+// compute, the over-arch AllReduce, concurrent tower-module scaling, and
+// owner-applied sparse updates on primed optimizer state.
+func TestRankParallelStepConcurrency(t *testing.T) {
+	cfg, gen := testSetup(9)
+	cfg.G, cfg.L = 8, 4
+	cfg.Model.Towers = [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		_, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
+		res := tr.Step(locals)
+		if res.MeanLoss <= 0 {
+			t.Fatalf("step %d: implausible loss %v", step, res.MeanLoss)
+		}
+		if err := tr.ReplicasInSync(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	st := tr.Stats()
+	if st.Steps != 3 {
+		t.Fatalf("stats counted %d steps, want 3", st.Steps)
+	}
+	if st.Phases.EmbComm <= 0 || st.Phases.Dense <= 0 || st.Phases.GradExchange <= 0 || st.Phases.Update <= 0 {
+		t.Fatalf("phase times not all positive: %+v", st.Phases)
+	}
+	if st.EmbIntraHostBytes <= 0 || st.EmbCrossHostBytes <= 0 {
+		t.Fatalf("embedding traffic not split: %+v", st)
+	}
+	// The over-arch AllReduce spans hosts and the tower reduction is
+	// intra-host, so both gradient counters must be populated.
+	if st.GradIntraHostBytes <= 0 || st.GradCrossHostBytes <= 0 {
+		t.Fatalf("gradient traffic not split: %+v", st)
+	}
+}
+
+// TestSequentialStatsCountTowerReduction: the sequential reference path
+// moves dense gradients through memory, so its only gradient wire traffic
+// is SPTTBackward's intra-host tower-module reduction.
+func TestSequentialStatsCountTowerReduction(t *testing.T) {
+	cfg, gen := testSetup(10)
+	cfg.Sequential = true
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals := splitGlobalBatch(gen, 0, cfg.G, cfg.LocalBatch)
+	tr.Step(locals)
+	st := tr.Stats()
+	if st.GradIntraHostBytes <= 0 {
+		t.Fatalf("tower reduction bytes missing: %+v", st)
+	}
+	if st.GradCrossHostBytes != 0 {
+		t.Fatalf("sequential path reported cross-host gradient bytes: %+v", st)
+	}
+}
+
 func TestTowersInHostOrder(t *testing.T) {
 	ordered, towerOf, rankOf, err := TowersInHostOrder([][]int{{3, 0}, {1, 2}}, 4, 2)
 	if err != nil {

@@ -271,3 +271,40 @@ func itoa(n int) string {
 	}
 	return string(digits)
 }
+
+func TestTrainingThroughputReport(t *testing.T) {
+	p := SmokeTraining()
+	r := TrainingThroughput(p)
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(r.Rows))
+	}
+	if r.Rows[0].Mode != "sequential" || r.Rows[1].Mode != "rank-parallel" {
+		t.Fatalf("unexpected modes: %+v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if row.StepsPerSec <= 0 {
+			t.Fatalf("%s: steps/s %v", row.Mode, row.StepsPerSec)
+		}
+		if row.Stats.Steps != p.Steps {
+			t.Fatalf("%s: counted %d steps, want %d", row.Mode, row.Stats.Steps, p.Steps)
+		}
+		if row.Stats.EmbIntraHostBytes <= 0 || row.Stats.EmbCrossHostBytes <= 0 {
+			t.Fatalf("%s: embedding traffic not split: %+v", row.Mode, row.Stats)
+		}
+	}
+	// Both engines follow bitwise-identical trajectories, so the measured
+	// losses must agree exactly — the report compares speed, not math.
+	if r.Rows[0].FinalLoss != r.Rows[1].FinalLoss {
+		t.Fatalf("engines diverged: %v vs %v", r.Rows[0].FinalLoss, r.Rows[1].FinalLoss)
+	}
+	// Only the rank-parallel engine moves dense gradients over the wire.
+	if r.Rows[1].Stats.GradCrossHostBytes <= 0 {
+		t.Fatalf("rank-parallel engine reported no cross-host gradient bytes: %+v", r.Rows[1].Stats)
+	}
+	if r.Speedup <= 0 {
+		t.Fatalf("speedup %v", r.Speedup)
+	}
+	if s := FormatTraining(r); len(s) == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -235,6 +235,35 @@ func FormatQuantXLRM(r QuantXLRMResult) string {
 		r.Speedup, r.PaperSpeedup)
 }
 
+// FormatTraining renders the distributed-training engine comparison.
+func FormatTraining(r TrainingReport) string {
+	mb := func(b int64) float64 { return float64(b) / (1 << 20) }
+	var b strings.Builder
+	p := r.Profile
+	fmt.Fprintf(&b, "Distributed training: sequential vs rank-parallel step (G=%d, L=%d, B=%d, %d steps)\n",
+		p.G, p.L, p.LocalBatch, p.Steps)
+	fmt.Fprintf(&b, "%-14s %9s %9s | %9s %9s %9s %9s | %10s %10s %10s %10s\n",
+		"Engine", "steps/s", "loss", "emb-comm", "dense", "grad-ex", "update",
+		"gradIntra", "gradCross", "embIntra", "embCross")
+	for _, row := range r.Rows {
+		st := row.Stats
+		perStep := func(d time.Duration) time.Duration {
+			if st.Steps == 0 {
+				return 0
+			}
+			return (d / time.Duration(st.Steps)).Round(time.Microsecond)
+		}
+		fmt.Fprintf(&b, "%-14s %9.1f %9.4f | %9s %9s %9s %9s | %8.2fMB %8.2fMB %8.2fMB %8.2fMB\n",
+			row.Mode, row.StepsPerSec, row.FinalLoss,
+			perStep(st.Phases.EmbComm), perStep(st.Phases.Dense),
+			perStep(st.Phases.GradExchange), perStep(st.Phases.Update),
+			mb(st.GradIntraHostBytes), mb(st.GradCrossHostBytes),
+			mb(st.EmbIntraHostBytes), mb(st.EmbCrossHostBytes))
+	}
+	fmt.Fprintf(&b, "rank-parallel speedup: %.2fx (phase times are per step; byte volumes cumulative)\n", r.Speedup)
+	return b.String()
+}
+
 // FormatTowerHostsAblation renders the K-host-towers sweep.
 func FormatTowerHostsAblation(rows []TowerHostsAblationRow) string {
 	var b strings.Builder

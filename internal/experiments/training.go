@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dmt/internal/data"
+	"dmt/internal/distributed"
+	"dmt/internal/models"
+)
+
+// The training-throughput experiment: the repo's counterpart to the paper's
+// training-side evaluation, measuring what the rank-parallel engine buys
+// over the single-goroutine reference step on real hardware. Both engines
+// follow bitwise-identical trajectories (the distributed package's
+// equivalence theorem), so the comparison is pure execution speed: steps/s,
+// the per-phase breakdown (embedding dataflow, dense compute, gradient
+// exchange, optimizer update), and the gradient/embedding wire volumes
+// split intra-host vs cross-host.
+
+// TrainingProfile sizes the distributed-training measurement.
+type TrainingProfile struct {
+	G, L       int // ranks and ranks per host
+	LocalBatch int
+	Steps      int
+	Features   int // sparse features, dealt round-robin into G/L towers
+	N, D       int // embedding dim and tower output dim per derived feature
+	TopMLP     []int
+}
+
+// SmokeTraining keeps the test suite fast.
+func SmokeTraining() TrainingProfile {
+	return TrainingProfile{
+		G: 4, L: 2, LocalBatch: 8, Steps: 2,
+		Features: 8, N: 8, D: 4, TopMLP: []int{16},
+	}
+}
+
+// DefaultTraining is the cmd/dmt-bench configuration: 8 ranks across 4
+// hosts of 2, with a dense part heavy enough that rank parallelism shows.
+func DefaultTraining() TrainingProfile {
+	return TrainingProfile{
+		G: 8, L: 2, LocalBatch: 64, Steps: 8,
+		Features: 16, N: 16, D: 16, TopMLP: []int{128, 64},
+	}
+}
+
+// TrainingRow is one engine's measurement.
+type TrainingRow struct {
+	Mode        string // "sequential" or "rank-parallel"
+	StepsPerSec float64
+	FinalLoss   float64
+	Stats       distributed.Stats
+}
+
+// TrainingReport compares the two engines.
+type TrainingReport struct {
+	Profile TrainingProfile
+	Rows    []TrainingRow
+	// Speedup is rank-parallel steps/s over sequential steps/s.
+	Speedup float64
+}
+
+// NewTrainer builds a distributed trainer for a profile — shared by the
+// experiment below, cmd/dmt-bench, and the root BenchmarkDistributedStep.
+func NewTrainer(p TrainingProfile, sequential bool) (*distributed.Trainer, *data.Generator, error) {
+	dcfg := data.CriteoLike(1)
+	dcfg.Cardinalities = make([]int, p.Features)
+	dcfg.HotSizes = make([]int, p.Features)
+	for i := range dcfg.Cardinalities {
+		dcfg.Cardinalities[i] = 128
+		dcfg.HotSizes[i] = 1
+	}
+	dcfg.NumGroups = p.G / p.L
+	gen := data.NewGenerator(dcfg)
+
+	cfg := distributed.Config{
+		G: p.G, L: p.L, LocalBatch: p.LocalBatch,
+		Model: models.DMTDLRMConfig{
+			Schema: dcfg.Schema, N: p.N,
+			Towers: models.RoundRobinTowers(p.G/p.L, p.Features),
+			C:      1, P: 0, D: p.D,
+			BottomMLP: []int{32, p.D},
+			TopMLP:    append([]int(nil), p.TopMLP...),
+			Seed:      99,
+		},
+		DenseLR: 1e-3, SparseLR: 1e-2, Seed: 7,
+		Sequential: sequential,
+	}
+	tr, err := distributed.New(cfg)
+	return tr, gen, err
+}
+
+// TrainingBatches materializes step-indexed per-rank local batches.
+func TrainingBatches(gen *data.Generator, p TrainingProfile, step int) []*data.Batch {
+	batches := make([]*data.Batch, p.G)
+	for r := 0; r < p.G; r++ {
+		batches[r] = gen.Batch(step*p.G*p.LocalBatch+r*p.LocalBatch, p.LocalBatch)
+	}
+	return batches
+}
+
+// TrainingThroughput runs both engines over the same step sequence.
+func TrainingThroughput(p TrainingProfile) TrainingReport {
+	rep := TrainingReport{Profile: p}
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{
+		{"sequential", true},
+		{"rank-parallel", false},
+	} {
+		tr, gen, err := NewTrainer(p, mode.sequential)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: training setup: %v", err))
+		}
+		var last float64
+		start := time.Now()
+		for step := 0; step < p.Steps; step++ {
+			last = tr.Step(TrainingBatches(gen, p, step)).MeanLoss
+		}
+		elapsed := time.Since(start)
+		rep.Rows = append(rep.Rows, TrainingRow{
+			Mode:        mode.name,
+			StepsPerSec: float64(p.Steps) / elapsed.Seconds(),
+			FinalLoss:   last,
+			Stats:       tr.Stats(),
+		})
+	}
+	rep.Speedup = rep.Rows[1].StepsPerSec / rep.Rows[0].StepsPerSec
+	return rep
+}

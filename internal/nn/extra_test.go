@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"sync"
 	"testing"
 
 	"dmt/internal/tensor"
@@ -100,5 +101,44 @@ func TestAdamDistinctParamsIndependentState(t *testing.T) {
 	}
 	if b.Value.Data()[0] != 0 {
 		t.Fatal("param without gradient must not move")
+	}
+}
+
+// TestSparseAdamPrimeConcurrentTables exercises the optimizer's concurrency
+// contract: once every table is Primed, Steps on distinct tables may run
+// from concurrent goroutines (the distributed trainer's owner ranks). The
+// result must match the same updates applied sequentially.
+func TestSparseAdamPrimeConcurrentTables(t *testing.T) {
+	mkTables := func() []*EmbeddingBag {
+		r := tensor.NewRNG(5)
+		return []*EmbeddingBag{
+			NewEmbeddingBag(r.Split(1), 16, 4, PoolSum, "a"),
+			NewEmbeddingBag(r.Split(2), 16, 4, PoolSum, "b"),
+		}
+	}
+	mkGrad := func(seed uint64) *SparseGrad {
+		r := tensor.NewRNG(seed)
+		return &SparseGrad{Rows: []int{1, 7}, Grads: tensor.RandN(r, 1, 2, 4)}
+	}
+
+	seqTabs, parTabs := mkTables(), mkTables()
+	seqOpt, parOpt := NewSparseAdam(1e-2), NewSparseAdam(1e-2)
+	for i, e := range parTabs {
+		parOpt.Prime(e)
+		seqOpt.Step(seqTabs[i], mkGrad(uint64(10+i)))
+	}
+	var wg sync.WaitGroup
+	for i, e := range parTabs {
+		wg.Add(1)
+		go func(i int, e *EmbeddingBag) {
+			defer wg.Done()
+			parOpt.Step(e, mkGrad(uint64(10+i)))
+		}(i, e)
+	}
+	wg.Wait()
+	for i := range seqTabs {
+		if !seqTabs[i].Table.Equal(parTabs[i].Table) {
+			t.Fatalf("table %d: concurrent primed updates diverge from sequential", i)
+		}
 	}
 }

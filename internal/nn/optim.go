@@ -46,6 +46,12 @@ func (o *SGD) Step(params []*Param) {
 // Adam implements the Adam optimizer, the paper's choice for both the Strong
 // Baseline and DMT models (§5.1) and for the Tower Partitioner's MDS solve
 // (§3.3).
+//
+// Concurrency: Step mutates the step counter and moment maps, so an Adam
+// instance must be owned by a single goroutine at a time. Data-parallel
+// ranks each hold their own instance (identical state keeps replicas in
+// lockstep), which is what lets the distributed trainer run per-rank
+// optimizer steps concurrently.
 type Adam struct {
 	LR    float32
 	Beta1 float32
@@ -96,6 +102,14 @@ func (o *Adam) Step(params []*Param) {
 // per table row and only touched rows are updated ("lazy" semantics, as in
 // PyTorch's SparseAdam / TorchRec fused optimizers). Bias correction uses a
 // per-row step count so rarely-touched rows are not over-corrected.
+//
+// Concurrency: Step calls on *distinct* tables may run from different
+// goroutines provided every table was Primed first — Prime pre-creates the
+// per-table state, after which concurrent Steps only read the state map and
+// mutate disjoint per-table structs. Two concurrent Steps on the same table
+// race, as do unprimed concurrent Steps (both insert into the map); the
+// distributed trainer satisfies both rules by having exactly one owner rank
+// per table.
 type SparseAdam struct {
 	LR    float32
 	Beta1 float32
@@ -116,8 +130,14 @@ func NewSparseAdam(lr float32) *SparseAdam {
 		state: make(map[*EmbeddingBag]*sparseAdamState)}
 }
 
-// Step applies the sparse gradient g to table e.
-func (o *SparseAdam) Step(e *EmbeddingBag, g *SparseGrad) {
+// Prime pre-creates table e's moment state so later Step calls never write
+// the state map — the prerequisite for applying sparse updates to distinct
+// tables from concurrent owner-rank goroutines.
+func (o *SparseAdam) Prime(e *EmbeddingBag) {
+	o.ensure(e)
+}
+
+func (o *SparseAdam) ensure(e *EmbeddingBag) *sparseAdamState {
 	st := o.state[e]
 	if st == nil {
 		st = &sparseAdamState{
@@ -127,6 +147,12 @@ func (o *SparseAdam) Step(e *EmbeddingBag, g *SparseGrad) {
 		}
 		o.state[e] = st
 	}
+	return st
+}
+
+// Step applies the sparse gradient g to table e.
+func (o *SparseAdam) Step(e *EmbeddingBag, g *SparseGrad) {
+	st := o.ensure(e)
 	for i, row := range g.Rows {
 		st.steps[row]++
 		t := st.steps[row]

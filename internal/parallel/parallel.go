@@ -126,11 +126,7 @@ func IterationLatency(cfg SearchConfig, m Mesh) float64 {
 	var dpComm float64
 	if m.DP > 1 {
 		shard := int(cfg.Model.DenseBytes) / (m.TP * m.PP)
-		rph := l
-		if m.DP < l {
-			rph = m.DP
-		}
-		dpComm = fabric.Time(netsim.AllReduce, m.DP, rph, shard)
+		dpComm = fabric.Time(netsim.AllReduce, m.DP, dpRanksPerHost(l, m), shard)
 	}
 
 	// Sparse component: invariant global AlltoAlls (fwd fp32 + bwd fp16).
@@ -140,6 +136,24 @@ func IterationLatency(cfg SearchConfig, m Mesh) float64 {
 		fabric.Time(netsim.AlltoAll, g, l, gradBytes)
 
 	return compute + tpComm + ppOverhead + dpComm + sparse
+}
+
+// dpRanksPerHost returns how many ranks of one data-parallel group share a
+// host. TP and PP occupy tp·pp consecutive intra-host slots, so only
+// l/(tp·pp) DP peers (at least one) are co-located; with tp·pp ≥ l the DP
+// AllReduce is entirely cross-host. Assuming l co-located DP peers for
+// hybrid meshes undercosted their gradient sync. For pure DP (tp=pp=1) this
+// reduces to min(l, dp), the original Figure 6 costing, so the pure-DP
+// ranking is unchanged.
+func dpRanksPerHost(l int, m Mesh) int {
+	rph := l / (m.TP * m.PP)
+	if rph < 1 {
+		rph = 1
+	}
+	if rph > m.DP {
+		rph = m.DP
+	}
+	return rph
 }
 
 // Search costs every mesh and returns results sorted by latency (the CDF's

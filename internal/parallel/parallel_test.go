@@ -3,6 +3,8 @@ package parallel
 import (
 	"testing"
 	"testing/quick"
+
+	"dmt/internal/netsim"
 )
 
 func TestEnumerateCountsFactorizations(t *testing.T) {
@@ -49,6 +51,51 @@ func TestPipelineBubbleCosts(t *testing.T) {
 	pp := IterationLatency(cfg, Mesh{DP: 8, TP: 1, PP: 8})
 	if pp <= dp {
 		t.Fatalf("pp=8 (%.3fms) should cost more than pure dp (%.3fms)", pp*1e3, dp*1e3)
+	}
+}
+
+// TestDPRanksPerHost pins the hybrid-mesh fix: the DP group's co-located
+// peer count shrinks by the intra-host slots TP/PP consume, while pure-DP
+// meshes keep the original min(l, dp) — so Figure 6's pure-DP ranking is
+// unchanged by the fix.
+func TestDPRanksPerHost(t *testing.T) {
+	cases := []struct {
+		l    int
+		mesh Mesh
+		want int
+	}{
+		{8, Mesh{DP: 64, TP: 1, PP: 1}, 8}, // pure DP: full host
+		{8, Mesh{DP: 4, TP: 1, PP: 1}, 4},  // pure DP smaller than a host
+		{8, Mesh{DP: 8, TP: 8, PP: 1}, 1},  // TP fills the host: DP is cross-host
+		{8, Mesh{DP: 8, TP: 1, PP: 8}, 1},  // PP fills the host
+		{8, Mesh{DP: 16, TP: 2, PP: 2}, 2}, // tp*pp=4 leaves 2 DP peers per host
+		{8, Mesh{DP: 2, TP: 2, PP: 1}, 2},  // DP degree caps the share
+		{8, Mesh{DP: 1, TP: 64, PP: 1}, 1},
+		{4, Mesh{DP: 8, TP: 2, PP: 4}, 1}, // tp*pp > l
+	}
+	for _, c := range cases {
+		if got := dpRanksPerHost(c.l, c.mesh); got != c.want {
+			t.Errorf("dpRanksPerHost(l=%d, %+v) = %d, want %d", c.l, c.mesh, got, c.want)
+		}
+	}
+}
+
+// TestHybridDPGradSyncCostsCrossHost: with 8-GPU hosts, tp=8 pushes every
+// DP peer onto a different host, which must cost more than the same mesh
+// would if its DP sync were (incorrectly) priced intra-host.
+func TestHybridDPGradSyncCostsCrossHost(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	l := cfg.Cluster.GPUsPerHost
+	m := Mesh{DP: 8, TP: 8, PP: 1}
+	if rph := dpRanksPerHost(l, m); rph != 1 {
+		t.Fatalf("tp=%d on %d-GPU hosts must isolate DP peers, got rph=%d", m.TP, l, rph)
+	}
+	fabric := netsim.New(cfg.Cluster.Gen)
+	shard := int(cfg.Model.DenseBytes) / (m.TP * m.PP)
+	cross := fabric.Time(netsim.AllReduce, m.DP, 1, shard)
+	intra := fabric.Time(netsim.AllReduce, m.DP, l, shard)
+	if cross <= intra {
+		t.Fatalf("cross-host AllReduce (%v) should cost more than intra-host (%v)", cross, intra)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -76,23 +77,35 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 	if cfg.ZipfS <= 1 {
 		cfg.ZipfS = 1.2
 	}
-	perClient := cfg.Requests / cfg.Concurrency
-	if perClient < 1 {
-		perClient = 1
+	if cfg.Requests < 1 {
+		return LoadReport{}
 	}
-	total := perClient * cfg.Concurrency
+	// Spread the load so exactly cfg.Requests are issued: every client gets
+	// the floor share and the remainder goes one-per-client to the first
+	// Requests%Concurrency clients (dropping it would silently under-drive
+	// and over-report QPS).
+	perClient := cfg.Requests / cfg.Concurrency
+	remainder := cfg.Requests % cfg.Concurrency
+	total := cfg.Requests
 
 	lats := make([][]time.Duration, cfg.Concurrency)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Concurrency; c++ {
+		n := perClient
+		if c < remainder {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
 		wg.Add(1)
-		go func(c int) {
+		go func(c, n int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(cfg.Seed)*7919 + int64(c)))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(samples)-1))
-			mine := make([]time.Duration, 0, perClient)
-			for i := 0; i < perClient; i++ {
+			mine := make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
 				sm := samples[zipf.Uint64()]
 				t0 := time.Now()
 				if _, err := s.Predict(sm); err != nil {
@@ -101,7 +114,7 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 				mine = append(mine, time.Since(t0))
 			}
 			lats[c] = mine
-		}(c)
+		}(c, n)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -121,11 +134,21 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 	}
 }
 
-// percentile reads the q-quantile from sorted latencies.
+// percentile reads the q-quantile from sorted latencies with the ceil
+// nearest-rank convention: the smallest sample with at least a q fraction
+// of the distribution at or below it. Floor-indexing into n-1 would round
+// tail percentiles down a rank and underestimate them at small n.
 func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
 }

@@ -135,6 +135,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 		}
 		grads[rank] = out
 	})
+	st.BwdGlobalTraffic, st.BwdHostTraffic, st.BwdPeerTraffic = gs.fold()
 
 	merged := make(map[int]*nn.SparseGrad)
 	for _, m := range grads {

@@ -92,11 +92,19 @@ type SPTTState struct {
 	modules []TowerModule // per rank; nil for the pass-through transform
 
 	// GlobalTraffic covers step (a); HostTraffic step (d); PeerTraffic
-	// step (f) and, in compressed runs, the intra-tower gradient reduction
-	// is folded into HostTraffic by the backward pass.
+	// step (f). All matrices are G×G, global-rank indexed.
 	GlobalTraffic [][]int64
 	HostTraffic   [][]int64
 	PeerTraffic   [][]int64
+
+	// The Bwd* matrices are filled in by SPTTBackward: the reverse peer
+	// AlltoAll (BwdPeerTraffic), the reverse intra-host AlltoAll plus — in
+	// compressed runs — the intra-tower gradient AllReduce (BwdHostTraffic),
+	// and any global-group traffic (BwdGlobalTraffic, zero today). They let
+	// the distributed trainer split gradient bytes by fabric.
+	BwdGlobalTraffic [][]int64
+	BwdHostTraffic   [][]int64
+	BwdPeerTraffic   [][]int64
 }
 
 // Options tweaks the transform's specializations (§3.1.3).
