@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,21 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m .
 
 # One iteration of the fast benchmarks: proves they compile and run.
+# BenchmarkDistributedStep includes the compressed-wire (fp16/int8) step
+# variants, so the smoke run covers the quantized collectives too.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^(Benchmark(Serve|SPTT|TrainStep|Timeline)_|BenchmarkDistributedStep)' -benchtime 1x -timeout 20m .
 
-# The distributed-training engine comparison: sequential vs rank-parallel.
+# The distributed-training engine comparison: sequential vs rank-parallel,
+# plus the compressed-wire variants.
 bench-train:
 	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep' -benchtime 5x -timeout 20m .
+
+# Short native-fuzz runs over the wire codec (go test allows one -fuzz
+# target per invocation, hence the two runs).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzFloat16RoundTrip$$' -fuzztime 10s ./internal/quant
+	$(GO) test -run '^$$' -fuzz '^FuzzLinearQuantRoundTrip$$' -fuzztime 10s ./internal/quant
 
 serve-demo:
 	$(GO) run ./cmd/dmt-serve -requests 8192 -concurrency 32

@@ -18,6 +18,7 @@ import (
 	"dmt/internal/models"
 	"dmt/internal/nn"
 	"dmt/internal/perfmodel"
+	"dmt/internal/quant"
 	"dmt/internal/serve"
 	"dmt/internal/sptt"
 	"dmt/internal/tensor"
@@ -323,19 +324,29 @@ func BenchmarkSPTT_TransformDataflow(b *testing.B) {
 // against the rank-parallel engine at G=4 and G=8 (2 hosts and 4 hosts of
 // 2 ranks). Both execute identical mathematics over the same batches, so
 // ns/op is a direct engine comparison; on a multi-core runner the
-// rank-parallel step should win by ≥1.5x at G=8.
+// rank-parallel step should win by ≥1.5x at G=8. The fp16/int8 variants
+// run the rank-parallel engine over the compressed wire (gradient
+// AllReduce with error feedback plus quantized cross-host embedding hops),
+// so their ns/op delta against the fp32 row is the codec's CPU cost.
 func BenchmarkDistributedStep(b *testing.B) {
 	for _, g := range []int{4, 8} {
 		for _, mode := range []struct {
 			name       string
 			sequential bool
+			compress   quant.Scheme
 		}{
-			{"sequential", true},
-			{"rank-parallel", false},
+			{"sequential", true, quant.None},
+			{"rank-parallel", false, quant.None},
+			{"rank-parallel/fp16", false, quant.FP16},
+			{"rank-parallel/int8", false, quant.INT8},
 		} {
+			if mode.compress != quant.None && g != 8 {
+				continue // compressed variants only at the larger scale
+			}
 			b.Run(fmt.Sprintf("%s/G=%d", mode.name, g), func(b *testing.B) {
 				p := experiments.DefaultTraining()
 				p.G = g
+				p.Compress = mode.compress
 				tr, gen, err := experiments.NewTrainer(p, mode.sequential)
 				if err != nil {
 					b.Fatal(err)

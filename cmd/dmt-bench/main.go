@@ -6,9 +6,17 @@
 //
 // Usage:
 //
-//	dmt-bench                 # run everything
-//	dmt-bench -exp fig10      # one experiment
-//	dmt-bench -list           # list experiment names
+//	dmt-bench                          # run everything
+//	dmt-bench -exp fig10               # one experiment
+//	dmt-bench -exp train -compress fp16  # measured training over a quantized wire
+//	dmt-bench -list                    # list experiment names
+//
+// -compress selects the wire scheme (fp32, fp16, int8, int4) for the
+// experiments that model or measure compressed communication: `train` runs
+// the rank-parallel engine with quantized collectives (gradient AllReduce
+// with error feedback, cross-host embedding hops) and appends a per-scheme
+// sweep against fp32; `fig6` costs the parallelism search over compressed
+// links.
 package main
 
 import (
@@ -20,15 +28,20 @@ import (
 
 	"dmt/internal/experiments"
 	"dmt/internal/perfmodel"
+	"dmt/internal/quant"
 	"dmt/internal/topology"
 	"dmt/internal/trace"
 )
+
+// compress is the wire scheme selected by -compress; fp32 reproduces every
+// experiment's historical output exactly.
+var compress quant.Scheme
 
 var runners = map[string]func() string{
 	"table1": func() string { return experiments.FormatTable1(experiments.Table1()) },
 	"fig1":   func() string { return experiments.FormatFigure1(experiments.Figure1()) },
 	"fig5":   func() string { return experiments.FormatFigure5(experiments.Figure5()) },
-	"fig6":   func() string { return experiments.FormatFigure6(experiments.Figure6()) },
+	"fig6":   func() string { return experiments.FormatFigure6(experiments.Figure6Compressed(compress)) },
 	"fig10": func() string {
 		return experiments.FormatSpeedups("Figure 10: Speedup of DMT over Strong Baseline", experiments.Figure10())
 	},
@@ -40,7 +53,14 @@ var runners = map[string]func() string{
 	"quant": func() string { return experiments.FormatQuantXLRM(experiments.QuantXLRM()) },
 	"khost": func() string { return experiments.FormatTowerHostsAblation(experiments.TowerHostsAblation()) },
 	"train": func() string {
-		return experiments.FormatTraining(experiments.TrainingThroughput(experiments.DefaultTraining()))
+		p := experiments.DefaultTraining()
+		p.Compress = compress
+		out := experiments.FormatTraining(experiments.TrainingThroughput(p))
+		if compress != quant.None {
+			out += experiments.FormatCompression(
+				experiments.TrainingCompression(p, []quant.Scheme{compress}))
+		}
+		return out
 	},
 	"timeline": func() string {
 		c := topology.NewCluster(topology.H100, 64)
@@ -56,7 +76,14 @@ var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12"
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	scheme := flag.String("compress", "fp32", "wire scheme for train/fig6 (fp32, fp16, int8, int4)")
 	flag.Parse()
+
+	var err error
+	if compress, err = quant.ParseScheme(*scheme); err != nil {
+		fmt.Fprintf(os.Stderr, "dmt-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		names := make([]string, 0, len(runners))

@@ -1,0 +1,122 @@
+package comm
+
+import (
+	"fmt"
+
+	"dmt/internal/quant"
+	"dmt/internal/tensor"
+)
+
+// Compressed-wire collectives: each variant encodes its payloads with a
+// quant.Scheme before send and decodes on recv, so what travels through the
+// mailboxes is the reduced representation and the traffic counters charge
+// the wire size (2 bytes/element for fp16, ~1 for int8, ~0.5 for int4, plus
+// one 4-byte scale per row for the linear schemes) instead of the raw
+// 4 bytes/element.
+//
+// Scheme quant.None delegates to the raw by-reference path, so an
+// uncompressed call through the Q variant is bitwise identical to — and as
+// cheap as — the plain collective.
+//
+// Determinism is preserved: encoding happens once on the sender, Decode is a
+// pure function of the payload, and reductions still accumulate in source
+// rank order, so every rank of a compressed AllReduce obtains bit-identical
+// results. A rank can also predict exactly what its peers will reconstruct
+// from its own contribution via quant.Apply — the property the distributed
+// trainer's error-feedback residuals rely on.
+
+// AlltoAllTensorsQ is AlltoAllTensors over quantized payloads: chunks[j]
+// travels to rank j at wire size and arrives decoded. Nil chunks are
+// delivered as nil, as in the raw variant.
+func (c *Comm) AlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) []*tensor.Tensor {
+	if s == quant.None {
+		return c.AlltoAllTensors(chunks)
+	}
+	n := c.g.size
+	if len(chunks) != n {
+		panic(fmt.Sprintf("comm: AlltoAllQ needs %d chunks, got %d", n, len(chunks)))
+	}
+	for d := 0; d < n; d++ {
+		var enc *quant.Encoded
+		nbytes := 0
+		if chunks[d] != nil {
+			enc = quant.Encode(s, chunks[d])
+			nbytes = enc.WireBytes()
+		}
+		c.send(d, enc, nbytes)
+	}
+	out := make([]*tensor.Tensor, n)
+	for src := 0; src < n; src++ {
+		if enc := c.recv(src).(*quant.Encoded); enc != nil {
+			out[src] = enc.Decode()
+		}
+	}
+	return out
+}
+
+// AllGatherQ distributes x to every rank in quantized form. The payload is
+// encoded once and every receiver — including the sender itself — decodes
+// its own copy, so all ranks see the same post-quantization values.
+func (c *Comm) AllGatherQ(s quant.Scheme, x *tensor.Tensor) []*tensor.Tensor {
+	if s == quant.None {
+		return c.AllGather(x)
+	}
+	enc := quant.Encode(s, x)
+	for d := 0; d < c.g.size; d++ {
+		c.send(d, enc, enc.WireBytes())
+	}
+	out := make([]*tensor.Tensor, c.g.size)
+	for src := 0; src < c.g.size; src++ {
+		out[src] = c.recv(src).(*quant.Encoded).Decode()
+	}
+	return out
+}
+
+// AllReduceSumQ sums every rank's quantized contribution in rank order.
+// Because each contribution is quantized identically for every receiver, all
+// ranks obtain bit-identical sums.
+func (c *Comm) AllReduceSumQ(s quant.Scheme, x *tensor.Tensor) *tensor.Tensor {
+	if s == quant.None {
+		return c.AllReduceSum(x)
+	}
+	parts := c.AllGatherQ(s, x)
+	// Decode allocates per receiver, so parts[0] is this rank's own buffer
+	// and can accumulate in place.
+	out := parts[0]
+	for src := 1; src < len(parts); src++ {
+		tensor.AddInPlace(out, parts[src])
+	}
+	return out
+}
+
+// ReduceScatterSumQ is ReduceScatterSum over quantized chunks: the
+// rank-ordered sum of the decoded chunks addressed to this rank.
+func (c *Comm) ReduceScatterSumQ(s quant.Scheme, chunks []*tensor.Tensor) *tensor.Tensor {
+	if s == quant.None {
+		return c.ReduceScatterSum(chunks)
+	}
+	parts := c.AlltoAllTensorsQ(s, chunks)
+	out := parts[0]
+	for src := 1; src < len(parts); src++ {
+		tensor.AddInPlace(out, parts[src])
+	}
+	return out
+}
+
+// BroadcastQ returns root's x quantized on every rank. The root decodes its
+// own payload too, so all ranks — root included — hold bit-identical values.
+func (c *Comm) BroadcastQ(s quant.Scheme, x *tensor.Tensor, root int) *tensor.Tensor {
+	if s == quant.None {
+		return c.Broadcast(x, root)
+	}
+	if c.rank == root {
+		enc := quant.Encode(s, x)
+		for d := 0; d < c.g.size; d++ {
+			if d != root {
+				c.send(d, enc, enc.WireBytes())
+			}
+		}
+		return enc.Decode()
+	}
+	return c.recv(root).(*quant.Encoded).Decode()
+}

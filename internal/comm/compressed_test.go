@@ -1,0 +1,253 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"dmt/internal/quant"
+	"dmt/internal/tensor"
+)
+
+// TestCompressedWireAccounting: the traffic counters must charge the wire
+// size of the encoded payload, not the raw fp32 bytes — 2 bytes/element for
+// fp16; 1 byte/element plus a 4-byte per-row scale for int8.
+func TestCompressedWireAccounting(t *testing.T) {
+	const n, elems = 3, 10 // 1-D tensors: one scale per payload
+	cases := []struct {
+		scheme    quant.Scheme
+		wantBytes int64
+	}{
+		{quant.None, 4 * elems},
+		{quant.FP16, 2 * elems},
+		{quant.INT8, 1*elems + 4},
+		{quant.INT4, (elems+1)/2 + 4},
+	}
+	for _, tc := range cases {
+		comms := NewGroup(n)
+		Run(comms, func(c *Comm) {
+			chunks := make([]*tensor.Tensor, n)
+			for d := 0; d < n; d++ {
+				chunks[d] = tensor.Full(float32(c.Rank()+1), elems)
+			}
+			c.AlltoAllTensorsQ(tc.scheme, chunks)
+		})
+		m := TrafficMatrix(comms)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if m[s][d] != tc.wantBytes {
+					t.Fatalf("%s: traffic[%d][%d] = %d, want %d", tc.scheme, s, d, m[s][d], tc.wantBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedAlltoAllDeliversQuantized: each received chunk must equal
+// the sender's payload passed through the scheme's round trip (quant.Apply
+// is exactly Encode∘Decode), and nil chunks stay nil.
+func TestCompressedAlltoAllDeliversQuantized(t *testing.T) {
+	const n = 4
+	r := tensor.NewRNG(11)
+	orig := make([][]*tensor.Tensor, n)
+	for src := 0; src < n; src++ {
+		orig[src] = make([]*tensor.Tensor, n)
+		for d := 0; d < n; d++ {
+			if src == 1 && d == 2 {
+				continue // exercise the nil-chunk path
+			}
+			orig[src][d] = tensor.RandN(r, 1, 3, 5)
+		}
+	}
+	for _, s := range []quant.Scheme{quant.FP16, quant.INT8, quant.INT4} {
+		got := make([][]*tensor.Tensor, n)
+		comms := NewGroup(n)
+		Run(comms, func(c *Comm) {
+			got[c.Rank()] = c.AlltoAllTensorsQ(s, orig[c.Rank()])
+		})
+		for dst := 0; dst < n; dst++ {
+			for src := 0; src < n; src++ {
+				if orig[src][dst] == nil {
+					if got[dst][src] != nil {
+						t.Fatalf("%s: nil chunk arrived non-nil", s)
+					}
+					continue
+				}
+				want := quant.Apply(s, orig[src][dst])
+				if !got[dst][src].Equal(want) {
+					t.Fatalf("%s: dst %d src %d decoded payload differs from Apply", s, dst, src)
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastQAllRanksIdentical: the root must see the same quantized
+// values as every receiver, not its raw tensor.
+func TestBroadcastQAllRanksIdentical(t *testing.T) {
+	const n = 4
+	x := tensor.RandN(tensor.NewRNG(5), 1, 2, 6)
+	for _, s := range []quant.Scheme{quant.FP16, quant.INT8} {
+		out := make([]*tensor.Tensor, n)
+		comms := NewGroup(n)
+		Run(comms, func(c *Comm) {
+			var in *tensor.Tensor
+			if c.Rank() == 1 {
+				in = x
+			}
+			out[c.Rank()] = c.BroadcastQ(s, in, 1)
+		})
+		want := quant.Apply(s, x)
+		for rk := 0; rk < n; rk++ {
+			if !out[rk].Equal(want) {
+				t.Fatalf("%s: rank %d broadcast differs from quantized root payload", s, rk)
+			}
+		}
+	}
+}
+
+// TestReduceScatterSumQMatchesReference: the quantized reduce-scatter must
+// equal the rank-ordered sum of the quantized chunks addressed to the rank.
+func TestReduceScatterSumQMatchesReference(t *testing.T) {
+	const n = 3
+	r := tensor.NewRNG(7)
+	chunks := make([][]*tensor.Tensor, n)
+	for src := 0; src < n; src++ {
+		chunks[src] = make([]*tensor.Tensor, n)
+		for d := 0; d < n; d++ {
+			chunks[src][d] = tensor.RandN(r, 1, 2, 4)
+		}
+	}
+	for _, s := range []quant.Scheme{quant.FP16, quant.INT4} {
+		out := make([]*tensor.Tensor, n)
+		comms := NewGroup(n)
+		Run(comms, func(c *Comm) {
+			out[c.Rank()] = c.ReduceScatterSumQ(s, chunks[c.Rank()])
+		})
+		for d := 0; d < n; d++ {
+			want := quant.Apply(s, chunks[0][d]).Clone()
+			for src := 1; src < n; src++ {
+				tensor.AddInPlace(want, quant.Apply(s, chunks[src][d]))
+			}
+			if !out[d].Equal(want) {
+				t.Fatalf("%s: rank %d reduce-scatter differs from sequential reference", s, d)
+			}
+		}
+	}
+}
+
+// TestCompressedCollectivesConcurrencyAgree drives compressed AllReduceSum
+// and AlltoAllTensors at G=8 under comm.Run — the `-race` workout for the
+// compressed wire path — and checks that every rank's AllReduce result is
+// bit-identical across ranks and equal to the sequential reference (the
+// rank-ordered sum of each rank's quantized contribution).
+func TestCompressedCollectivesConcurrencyAgree(t *testing.T) {
+	const g, rounds = 8, 5
+	r := tensor.NewRNG(23)
+	for _, s := range []quant.Scheme{quant.None, quant.FP16, quant.INT8} {
+		xs := make([][]*tensor.Tensor, rounds)
+		chunks := make([][][]*tensor.Tensor, rounds)
+		for round := 0; round < rounds; round++ {
+			xs[round] = make([]*tensor.Tensor, g)
+			chunks[round] = make([][]*tensor.Tensor, g)
+			for rk := 0; rk < g; rk++ {
+				xs[round][rk] = tensor.RandN(r, 1, 4, 8)
+				chunks[round][rk] = make([]*tensor.Tensor, g)
+				for d := 0; d < g; d++ {
+					chunks[round][rk][d] = tensor.RandN(r, 1, 2, 8)
+				}
+			}
+		}
+		sums := make([][]*tensor.Tensor, g)
+		a2a := make([][][]*tensor.Tensor, g)
+		for rk := 0; rk < g; rk++ {
+			sums[rk] = make([]*tensor.Tensor, rounds)
+			a2a[rk] = make([][]*tensor.Tensor, rounds)
+		}
+		comms := NewGroup(g)
+		Run(comms, func(c *Comm) {
+			for round := 0; round < rounds; round++ {
+				sums[c.Rank()][round] = c.AllReduceSumQ(s, xs[round][c.Rank()])
+				a2a[c.Rank()][round] = c.AlltoAllTensorsQ(s, chunks[round][c.Rank()])
+			}
+		})
+		for round := 0; round < rounds; round++ {
+			ref := quant.Apply(s, xs[round][0]).Clone()
+			for rk := 1; rk < g; rk++ {
+				tensor.AddInPlace(ref, quant.Apply(s, xs[round][rk]))
+			}
+			for rk := 0; rk < g; rk++ {
+				if !sums[rk][round].Equal(ref) {
+					t.Fatalf("%s round %d: rank %d AllReduce differs from sequential reference", s, round, rk)
+				}
+				for src := 0; src < g; src++ {
+					if !a2a[rk][round][src].Equal(quant.Apply(s, chunks[round][src][rk])) {
+						t.Fatalf("%s round %d: AlltoAll dst %d src %d payload wrong", s, round, rk, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitByHostTable covers the satellite edge cases: one rank per host,
+// all ranks on one host, a rank count not divisible by the host width, and
+// the empty matrix.
+func TestSplitByHostTable(t *testing.T) {
+	full3 := [][]int64{ // 3 ranks, diagonal must always be ignored
+		{9, 1, 2},
+		{3, 9, 4},
+		{5, 6, 9},
+	}
+	cases := []struct {
+		name                 string
+		m                    [][]int64
+		l                    int
+		wantIntra, wantCross int64
+	}{
+		{"l=1 every hop is cross-host", full3, 1, 0, 1 + 2 + 3 + 4 + 5 + 6},
+		{"l=G one host, all intra", full3, 3, 1 + 2 + 3 + 4 + 5 + 6, 0},
+		{"G=3 l=2 ragged tail host", full3, 2, 1 + 3, 2 + 4 + 5 + 6},
+		{"empty matrix", [][]int64{}, 2, 0, 0},
+		{"l exceeds G", full3, 8, 1 + 2 + 3 + 4 + 5 + 6, 0},
+	}
+	for _, tc := range cases {
+		intra, cross := SplitByHost(tc.m, tc.l)
+		if intra != tc.wantIntra || cross != tc.wantCross {
+			t.Fatalf("%s: got intra %d cross %d, want %d and %d",
+				tc.name, intra, cross, tc.wantIntra, tc.wantCross)
+		}
+	}
+}
+
+func TestSplitByHostRejectsBadWidth(t *testing.T) {
+	for _, l := range []int{0, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("l=%d must panic", l)
+				}
+			}()
+			SplitByHost([][]int64{{0}}, l)
+		}()
+	}
+}
+
+// TestCompressedNoneIsRawPath: the Q variants with quant.None must deliver
+// the sender's tensor by reference, exactly like the raw collectives.
+func TestCompressedNoneIsRawPath(t *testing.T) {
+	const n = 2
+	x := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	got := make([]*tensor.Tensor, n)
+	comms := NewGroup(n)
+	Run(comms, func(c *Comm) {
+		got[c.Rank()] = c.BroadcastQ(quant.None, x, 0)
+	})
+	for rk := 0; rk < n; rk++ {
+		if got[rk] != x {
+			t.Fatalf("rank %d: None broadcast must deliver by reference", rk)
+		}
+	}
+	if fmt.Sprintf("%p", got[0]) != fmt.Sprintf("%p", x) {
+		t.Fatal("pointer identity lost")
+	}
+}

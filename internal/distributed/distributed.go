@@ -30,6 +30,7 @@ import (
 	"dmt/internal/data"
 	"dmt/internal/models"
 	"dmt/internal/nn"
+	"dmt/internal/quant"
 	"dmt/internal/sptt"
 	"dmt/internal/tensor"
 )
@@ -52,6 +53,30 @@ type Config struct {
 	// rank-parallel engine. Both follow bitwise-identical trajectories; the
 	// sequential path exists as the benchmark baseline and cross-check.
 	Sequential bool
+	// Compression selects wire compression for the engine's collectives.
+	// The zero value (both schemes None) keeps the engine bitwise identical
+	// to the uncompressed trajectory.
+	Compression Compression
+}
+
+// Compression is the quantized-communication policy (§6 / the Strong
+// Baseline's quantized comms, Yang et al. 2021). The embedding dataflow is
+// compressed topology-aware — cross-host hops shrink while intra-host
+// NVLink traffic stays fp32 — and the over-arch gradient AllReduce, whose
+// volume is dominated by cross-host pairs, is compressed on every hop with
+// error feedback absorbing the rounding.
+type Compression struct {
+	// Gradient compresses the over-arch gradient AllReduce with per-rank
+	// error feedback: each rank quantizes g + r, where the residual r
+	// carries that rank's accumulated round-trip error into the next step
+	// (1-bit Adam style memory), so quantization error does not bias the
+	// trajectory. The intra-tower gradient reduction is intra-host and
+	// stays fp32.
+	Gradient quant.Scheme
+	// Embedding compresses the SPTT cross-host embedding payloads — the
+	// step (f) peer AlltoAll and its backward counterpart — while the
+	// intra-host step (d) AlltoAll stays fp32.
+	Embedding quant.Scheme
 }
 
 // Trainer holds the replicas, the dataflow engine, and optimizer state.
@@ -74,6 +99,12 @@ type Trainer struct {
 	// parameter, (L-1) copies of the gradient leave the rank.
 	tmReduceBytes int64
 	stats         Stats
+
+	// residuals[g][pi] is rank g's error-feedback memory for over-arch
+	// parameter pi: the part of g+r the wire scheme rounded away last step.
+	// Allocated only when Compression.Gradient is active; each rank writes
+	// only its own slots, so the rank-parallel engine needs no locking.
+	residuals [][]*tensor.Tensor
 }
 
 // PhaseTimes is cumulative wall-clock per step phase.
@@ -181,7 +212,25 @@ func New(cfg Config) (*Trainer, error) {
 	}
 	tr.engine = eng
 	tr.world = comm.NewGroup(cfg.G)
+	if cfg.Compression.Gradient != quant.None {
+		for g := 0; g < cfg.G; g++ {
+			var rs []*tensor.Tensor
+			for _, p := range tr.replicas[g].OverArchParams() {
+				rs = append(rs, tensor.New(p.Value.Shape()...))
+			}
+			tr.residuals = append(tr.residuals, rs)
+		}
+	}
 	return tr, nil
+}
+
+// Residual exposes rank g's error-feedback memory for over-arch parameter
+// pi (nil when gradient compression is off) — test and diagnostics hook.
+func (tr *Trainer) Residual(g, pi int) *tensor.Tensor {
+	if tr.residuals == nil {
+		return nil
+	}
+	return tr.residuals[g][pi]
 }
 
 // Engine exposes the dataflow engine (its tables are the canonical ones).
@@ -243,7 +292,8 @@ func (tr *Trainer) denseRank(g int, batches []*data.Batch, compressed, dCompress
 func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
 	cfg := tr.cfg
 	t0 := time.Now()
-	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{})
+	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules,
+		sptt.Options{CrossHost: cfg.Compression.Embedding})
 	t1 := time.Now()
 
 	// Dense forward/backward, one goroutine per rank. Replicas, losses, and
@@ -274,15 +324,7 @@ func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) St
 	invG := 1 / float32(cfg.G)
 	comm.Run(tr.world, func(c *comm.Comm) {
 		g := c.Rank()
-		for _, p := range tr.replicas[g].OverArchParams() {
-			// Clone before sending: collectives deliver by reference and
-			// p.Grad is overwritten while peers may still be reading.
-			avg := c.AllReduceSum(p.Grad.Clone())
-			for i, v := range avg.Data() {
-				avg.Data()[i] = v * invG
-			}
-			p.Grad.CopyFrom(avg)
-		}
+		tr.reduceOverArch(c, invG)
 		for _, p := range tr.modules[g].Params() {
 			d := p.Grad.Data()
 			for i := range d {
@@ -325,13 +367,47 @@ func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) St
 	return res
 }
 
+// reduceOverArch averages this rank's over-arch gradients across all ranks
+// on the world group. With gradient compression active each rank sends its
+// contribution g + r over the compressed wire and remembers the round-trip
+// error r for the next step; decoding is deterministic and the sum runs in
+// source-rank order, so every rank still obtains bit-identical averages.
+func (tr *Trainer) reduceOverArch(c *comm.Comm, invG float32) {
+	g := c.Rank()
+	s := tr.cfg.Compression.Gradient
+	for pi, p := range tr.replicas[g].OverArchParams() {
+		// Clone before sending: collectives deliver by reference and p.Grad
+		// is overwritten while peers may still be reading.
+		v := p.Grad.Clone()
+		var avg *tensor.Tensor
+		if s == quant.None {
+			avg = c.AllReduceSum(v)
+		} else {
+			tensor.AddInPlace(v, tr.residuals[g][pi])
+			parts := c.AllGatherQ(s, v)
+			// parts[g] is exactly what every peer decoded from this rank's
+			// payload; the shortfall feeds back into the next step.
+			tr.residuals[g][pi] = tensor.Sub(v, parts[g])
+			avg = parts[0] // decoded fresh per receiver; safe to accumulate
+			for src := 1; src < len(parts); src++ {
+				tensor.AddInPlace(avg, parts[src])
+			}
+		}
+		for i, x := range avg.Data() {
+			avg.Data()[i] = x * invG
+		}
+		p.Grad.CopyFrom(avg)
+	}
+}
+
 // stepSequential is the single-goroutine reference: identical mathematics,
 // with the dense phases executed rank by rank and gradients averaged through
 // centralized cross-replica loops instead of collectives.
 func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
 	cfg := tr.cfg
 	t0 := time.Now()
-	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{})
+	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules,
+		sptt.Options{CrossHost: cfg.Compression.Embedding})
 	t1 := time.Now()
 
 	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
@@ -350,10 +426,29 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 	for g := 0; g < cfg.G; g++ {
 		overArch[g] = tr.replicas[g].OverArchParams()
 	}
+	s := cfg.Compression.Gradient
 	for pi := range overArch[0] {
-		avg := overArch[0][pi].Grad.Clone()
-		for g := 1; g < cfg.G; g++ {
-			tensor.AddInPlace(avg, overArch[g][pi].Grad)
+		var avg *tensor.Tensor
+		if s == quant.None {
+			avg = overArch[0][pi].Grad.Clone()
+			for g := 1; g < cfg.G; g++ {
+				tensor.AddInPlace(avg, overArch[g][pi].Grad)
+			}
+		} else {
+			// Centralized mirror of reduceOverArch: quantize each rank's
+			// g + r contribution (quant.Apply is exactly the wire round
+			// trip), update that rank's residual, sum in rank order.
+			for g := 0; g < cfg.G; g++ {
+				v := overArch[g][pi].Grad.Clone()
+				tensor.AddInPlace(v, tr.residuals[g][pi])
+				vq := quant.Apply(s, v)
+				tr.residuals[g][pi] = tensor.Sub(v, vq)
+				if g == 0 {
+					avg = vq
+				} else {
+					tensor.AddInPlace(avg, vq)
+				}
+			}
 		}
 		for i, v := range avg.Data() {
 			avg.Data()[i] = v * invG

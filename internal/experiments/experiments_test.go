@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"dmt/internal/quant"
 )
 
 func TestTable1MatchesPaper(t *testing.T) {
@@ -306,5 +308,58 @@ func TestTrainingThroughputReport(t *testing.T) {
 	}
 	if s := FormatTraining(r); len(s) == 0 {
 		t.Fatal("empty report")
+	}
+}
+
+// TestTrainingCompressionSweep: the per-scheme sweep must prepend the fp32
+// baseline, charge at least 40% fewer cross-host gradient bytes under fp16
+// (the dmt-bench acceptance bar), and keep the error-feedback loss drift
+// small.
+func TestTrainingCompressionSweep(t *testing.T) {
+	p := SmokeTraining()
+	r := TrainingCompression(p, []quant.Scheme{quant.FP16})
+	if len(r.Rows) != 2 || r.Rows[0].Scheme != quant.None || r.Rows[1].Scheme != quant.FP16 {
+		t.Fatalf("unexpected sweep rows: %+v", r.Rows)
+	}
+	base, fp16 := r.Rows[0], r.Rows[1]
+	if base.DeltaLoss != 0 {
+		t.Fatalf("fp32 row must anchor the loss delta, got %v", base.DeltaLoss)
+	}
+	if base.Stats.GradCrossHostBytes <= 0 {
+		t.Fatalf("fp32 row has no cross-host gradient traffic: %+v", base.Stats)
+	}
+	if got, limit := fp16.Stats.GradCrossHostBytes, base.Stats.GradCrossHostBytes*6/10; got > limit {
+		t.Fatalf("fp16 gradient cross-host bytes %d not ≥40%% under fp32's %d",
+			got, base.Stats.GradCrossHostBytes)
+	}
+	if got, limit := fp16.Stats.EmbCrossHostBytes, base.Stats.EmbCrossHostBytes*6/10; got > limit {
+		t.Fatalf("fp16 embedding cross-host bytes %d not ≥40%% under fp32's %d",
+			got, base.Stats.EmbCrossHostBytes)
+	}
+	if math.Abs(fp16.DeltaLoss) > 0.01*base.FinalLoss {
+		t.Fatalf("fp16 loss drift %v too large vs baseline %v", fp16.DeltaLoss, base.FinalLoss)
+	}
+	if s := FormatCompression(r); !strings.Contains(s, "fp16") || !strings.Contains(s, "-5") {
+		t.Fatalf("sweep report missing the fp16 savings row:\n%s", s)
+	}
+}
+
+// TestFigure6CompressedKeepsRanking: costing the planner's links at fp16 or
+// int8 must leave the paper's headline ranking — pure data parallelism wins
+// — unchanged, and must never make any mesh slower than its fp32 costing.
+func TestFigure6CompressedKeepsRanking(t *testing.T) {
+	base := Figure6()
+	for _, s := range []quant.Scheme{quant.FP16, quant.INT8} {
+		r := Figure6Compressed(s)
+		if !r.DataParallelIsBest {
+			t.Fatalf("%s: best mesh %+v is not data parallel", s, r.BestMesh)
+		}
+		if len(r.Results) != len(base.Results) {
+			t.Fatalf("%s: %d configs, want %d", s, len(r.Results), len(base.Results))
+		}
+		if r.Results[0].Latency > base.Results[0].Latency {
+			t.Fatalf("%s: compression slowed the best mesh: %v > %v",
+				s, r.Results[0].Latency, base.Results[0].Latency)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"dmt/internal/netsim"
 	"dmt/internal/parallel"
 	"dmt/internal/perfmodel"
+	"dmt/internal/quant"
 	"dmt/internal/topology"
 )
 
@@ -100,7 +101,18 @@ type Figure6Result struct {
 // Figure6 reproduces the Alpa search over the dense part of DLRM on 64
 // A100 GPUs.
 func Figure6() Figure6Result {
-	res := parallel.Search(parallel.DefaultSearchConfig())
+	return Figure6Compressed(quant.None)
+}
+
+// Figure6Compressed reruns the parallelism search with the planner costing
+// quantized wire links (`dmt-bench -exp fig6 -compress <scheme>`).
+// Compression shrinks pure DP's only communication — the gradient
+// AllReduce — so the paper's data-parallelism-wins ranking must survive
+// every scheme; the experiments tests assert it.
+func Figure6Compressed(s quant.Scheme) Figure6Result {
+	cfg := parallel.DefaultSearchConfig()
+	cfg.Compression = s
+	res := parallel.Search(cfg)
 	return Figure6Result{
 		Results:            res,
 		BestMesh:           res[0].Mesh,

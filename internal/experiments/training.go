@@ -7,6 +7,7 @@ import (
 	"dmt/internal/data"
 	"dmt/internal/distributed"
 	"dmt/internal/models"
+	"dmt/internal/quant"
 )
 
 // The training-throughput experiment: the repo's counterpart to the paper's
@@ -26,6 +27,9 @@ type TrainingProfile struct {
 	Features   int // sparse features, dealt round-robin into G/L towers
 	N, D       int // embedding dim and tower output dim per derived feature
 	TopMLP     []int
+	// Compress selects the wire scheme for gradient (with error feedback)
+	// and cross-host embedding traffic; None trains uncompressed.
+	Compress quant.Scheme
 }
 
 // SmokeTraining keeps the test suite fast.
@@ -86,6 +90,10 @@ func NewTrainer(p TrainingProfile, sequential bool) (*distributed.Trainer, *data
 		},
 		DenseLR: 1e-3, SparseLR: 1e-2, Seed: 7,
 		Sequential: sequential,
+		Compression: distributed.Compression{
+			Gradient:  p.Compress,
+			Embedding: p.Compress,
+		},
 	}
 	tr, err := distributed.New(cfg)
 	return tr, gen, err
@@ -129,4 +137,67 @@ func TrainingThroughput(p TrainingProfile) TrainingReport {
 	}
 	rep.Speedup = rep.Rows[1].StepsPerSec / rep.Rows[0].StepsPerSec
 	return rep
+}
+
+// CompressionRow is one wire scheme's measurement on the rank-parallel
+// engine: throughput, final loss (and its drift against the fp32 row), and
+// the cumulative gradient/embedding wire volumes split by fabric.
+type CompressionRow struct {
+	Scheme      quant.Scheme
+	StepsPerSec float64
+	FinalLoss   float64
+	// DeltaLoss is FinalLoss minus the fp32 row's — the price of the wire
+	// scheme after error feedback. Zero for the fp32 row by construction.
+	DeltaLoss float64
+	Stats     distributed.Stats
+}
+
+// CompressionReport is the per-scheme sweep behind
+// `dmt-bench -exp train -compress <scheme>`.
+type CompressionReport struct {
+	Profile TrainingProfile
+	Rows    []CompressionRow
+}
+
+// TrainingCompression trains the rank-parallel engine once per scheme over
+// the same step sequence. A leading quant.None row is inserted if absent so
+// every report carries its own fp32 baseline for the byte and loss deltas.
+func TrainingCompression(p TrainingProfile, schemes []quant.Scheme) CompressionReport {
+	if len(schemes) == 0 || schemes[0] != quant.None {
+		schemes = append([]quant.Scheme{quant.None}, schemes...)
+	}
+	rep := CompressionReport{Profile: p}
+	for _, s := range schemes {
+		sp := p
+		sp.Compress = s
+		tr, gen, err := NewTrainer(sp, false)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: compression setup: %v", err))
+		}
+		var last float64
+		start := time.Now()
+		for step := 0; step < sp.Steps; step++ {
+			last = tr.Step(TrainingBatches(gen, sp, step)).MeanLoss
+		}
+		elapsed := time.Since(start)
+		rep.Rows = append(rep.Rows, CompressionRow{
+			Scheme:      s,
+			StepsPerSec: float64(sp.Steps) / elapsed.Seconds(),
+			FinalLoss:   last,
+			DeltaLoss:   last - rep.baselineLoss(last),
+			Stats:       tr.Stats(),
+		})
+	}
+	return rep
+}
+
+// baselineLoss returns the fp32 row's final loss, or fallback before that
+// row exists (making the first row's delta zero).
+func (r CompressionReport) baselineLoss(fallback float64) float64 {
+	for _, row := range r.Rows {
+		if row.Scheme == quant.None {
+			return row.FinalLoss
+		}
+	}
+	return fallback
 }

@@ -24,6 +24,7 @@ import (
 
 	"dmt/internal/netsim"
 	"dmt/internal/perfmodel"
+	"dmt/internal/quant"
 	"dmt/internal/topology"
 )
 
@@ -66,6 +67,13 @@ type SearchConfig struct {
 	ActivationBytesPerSample int
 	// MicroBatches for pipeline execution.
 	MicroBatches int
+	// Compression quantizes the links the planner costs: the dense-gradient
+	// AllReduce shard and the sparse AlltoAll payloads shrink to the
+	// scheme's wire footprint (the backward embedding hop keeps its fp16
+	// floor). quant.None reproduces the uncompressed Figure 6 costing
+	// exactly; compression helps pure DP most — its only communication is
+	// the gradient AllReduce — so the pure-DP-wins ranking is preserved.
+	Compression quant.Scheme
 }
 
 // DefaultSearchConfig mirrors the paper's setup (DLRM, 64 A100s).
@@ -122,16 +130,23 @@ func IterationLatency(cfg SearchConfig, m Mesh) float64 {
 		ppOverhead += float64(m.PP-1) * float64(actBytes) / (cfg.Cluster.Gen.ScaleOutGBps() * 1e9)
 	}
 
-	// Data parallelism: gradient AllReduce of the dense bytes shard.
+	// Data parallelism: gradient AllReduce of the dense bytes shard, at the
+	// wire scheme's footprint when compression is on.
 	var dpComm float64
 	if m.DP > 1 {
-		shard := int(cfg.Model.DenseBytes) / (m.TP * m.PP)
+		shard := perfmodel.CompressedBytes(cfg.Compression,
+			int(cfg.Model.DenseBytes)/4/(m.TP*m.PP))
 		dpComm = fabric.Time(netsim.AllReduce, m.DP, dpRanksPerHost(l, m), shard)
 	}
 
-	// Sparse component: invariant global AlltoAlls (fwd fp32 + bwd fp16).
-	embBytes := cfg.Model.EmbElemsPerSample * cfg.LocalBatch * 4
-	gradBytes := cfg.Model.EmbElemsPerSample * cfg.LocalBatch * 2
+	// Sparse component: invariant global AlltoAlls (fwd fp32 + bwd fp16,
+	// both capped by the wire scheme).
+	embElems := cfg.Model.EmbElemsPerSample * cfg.LocalBatch
+	embBytes := perfmodel.CompressedBytes(cfg.Compression, embElems)
+	gradBytes := 2 * embElems
+	if embBytes < gradBytes {
+		gradBytes = embBytes
+	}
 	sparse := fabric.Time(netsim.AlltoAll, g, l, embBytes) +
 		fabric.Time(netsim.AlltoAll, g, l, gradBytes)
 

@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"dmt/internal/netsim"
+	"dmt/internal/quant"
 	"dmt/internal/topology"
 )
 
@@ -170,6 +171,13 @@ type Config struct {
 	// OverlapFraction of compute usable to hide communication (§5.1's
 	// pipelined/overlapped execution).
 	OverlapFraction float64
+}
+
+// CompressedBytes returns the wire footprint of elems fp32 elements sent
+// under a quantized-communication scheme — the byte knob the planners feed
+// the netsim cost curves when costing compressed cross-host links.
+func CompressedBytes(s quant.Scheme, elems int) int {
+	return int(math.Ceil(float64(elems) * s.BytesPerElem()))
 }
 
 // DefaultConfig returns the Strong Baseline deployment for a model on a

@@ -1,0 +1,203 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"dmt/internal/tensor"
+)
+
+// Encoded is a tensor serialized under a Scheme: the object that travels
+// through the comm runtime's channels in place of the raw fp32 tensor when a
+// collective runs compressed. The in-memory representation mirrors the wire
+// format (uint16 halves, one byte per int8 element, two int4 elements per
+// byte, plus one quantization scale per row), so WireBytes is the size a
+// real fabric would carry.
+//
+// Decode is a pure function of the Encoded value: every receiver of the same
+// payload reconstructs bit-identical tensors, which is what keeps compressed
+// collectives deterministic across ranks.
+type Encoded struct {
+	scheme Scheme
+	shape  []int
+	// rows/width are the per-row quantization geometry of the linear
+	// schemes (width = last dimension for rank >= 2, whole tensor for 1-D).
+	rows, width int
+
+	raw *tensor.Tensor // None: by-reference passthrough (zero-copy)
+	f16 []uint16       // FP16: IEEE binary16 bits
+	q   []int8         // INT8: one quantized value per element
+	nib []byte         // INT4: two quantized values per byte, low nibble first
+
+	// scales holds one linear-quantization scale per row. The arithmetic is
+	// kept in float64 so Encode followed by Decode reproduces Apply's
+	// reference rounding bit for bit (the idempotence and error-feedback
+	// invariants depend on it); the wire charge remains the 4 bytes/row a
+	// production fp32-scale codec ships.
+	scales []float64
+}
+
+// Scheme returns the scheme the payload was encoded under.
+func (e *Encoded) Scheme() Scheme { return e.scheme }
+
+// toFloat16Sat converts with saturation: a finite value beyond the half
+// range clamps to ±65504 instead of overflowing to Inf — what real fp16
+// communication libraries do, and what keeps error-feedback residuals
+// finite (v − decode(encode(v)) can never be ±Inf for finite v, so one
+// gradient spike cannot poison the residual memory permanently). True
+// ±Inf and NaN inputs still travel as themselves, mirroring the
+// uncompressed wire.
+func toFloat16Sat(v float32) uint16 {
+	h := ToFloat16(v)
+	if h&0x7fff == 0x7c00 && !math.IsInf(float64(v), 0) {
+		return h&0x8000 | 0x7bff // ±65504, the largest half
+	}
+	return h
+}
+
+// linearGeometry returns the (rows, width) a linear scheme quantizes over.
+func linearGeometry(t *tensor.Tensor) (rows, width int) {
+	rows, width = 1, t.Len()
+	if t.Rank() >= 2 {
+		width = t.Dim(-1)
+		rows = t.Len() / width
+	}
+	return rows, width
+}
+
+func linearLevels(s Scheme) float64 {
+	if s == INT4 {
+		return 7
+	}
+	return 127
+}
+
+// Encode serializes t under the scheme. None keeps a reference to t (the
+// in-process analog of sending the raw buffer); the other schemes copy into
+// the reduced representation and do not retain t.
+func Encode(s Scheme, t *tensor.Tensor) *Encoded {
+	e := &Encoded{scheme: s}
+	if s != None {
+		e.shape = append([]int(nil), t.Shape()...)
+	}
+	switch s {
+	case None:
+		e.raw = t
+	case FP16:
+		e.f16 = make([]uint16, t.Len())
+		for i, v := range t.Data() {
+			e.f16[i] = toFloat16Sat(v)
+		}
+	case INT8, INT4:
+		e.rows, e.width = linearGeometry(t)
+		levels := linearLevels(s)
+		e.scales = make([]float64, e.rows)
+		qs := make([]int8, t.Len())
+		for r := 0; r < e.rows; r++ {
+			src := t.Data()[r*e.width : (r+1)*e.width]
+			maxAbs := 0.0
+			for _, v := range src {
+				if a := math.Abs(float64(v)); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 || math.IsInf(maxAbs, 1) {
+				// All-zero rows quantize to zero; non-finite rows cannot be
+				// scaled and are dropped to zero rather than poisoning the
+				// int8 conversion with NaN.
+				continue
+			}
+			scale := maxAbs / levels
+			e.scales[r] = scale
+			for i, v := range src {
+				q := math.Round(float64(v) / scale)
+				if math.IsNaN(q) {
+					q = 0
+				}
+				if q > levels {
+					q = levels
+				}
+				if q < -levels {
+					q = -levels
+				}
+				qs[r*e.width+i] = int8(q)
+			}
+		}
+		if s == INT8 {
+			e.q = qs
+		} else {
+			// Pack signed nibbles biased by +8 (values -7..7 -> 1..15).
+			e.nib = make([]byte, (len(qs)+1)/2)
+			for i, v := range qs {
+				n := byte(v+8) & 0xf
+				if i%2 == 0 {
+					e.nib[i/2] = n
+				} else {
+					e.nib[i/2] |= n << 4
+				}
+			}
+		}
+	default:
+		panic("quant: cannot encode unknown scheme " + s.String())
+	}
+	return e
+}
+
+// Decode reconstructs the tensor as the receiver of the payload sees it.
+// None returns the original tensor by reference; every other scheme
+// allocates, so each receiver owns its decoded copy.
+func (e *Encoded) Decode() *tensor.Tensor {
+	switch e.scheme {
+	case None:
+		return e.raw
+	case FP16:
+		out := tensor.New(e.shape...)
+		for i, h := range e.f16 {
+			out.Data()[i] = FromFloat16(h)
+		}
+		return out
+	case INT8, INT4:
+		out := tensor.New(e.shape...)
+		at := func(i int) float64 { return float64(e.q[i]) }
+		if e.scheme == INT4 {
+			at = func(i int) float64 {
+				n := e.nib[i/2] >> (uint(i%2) * 4) & 0xf
+				return float64(int(n) - 8)
+			}
+		}
+		for r := 0; r < e.rows; r++ {
+			scale := e.scales[r]
+			if scale == 0 {
+				continue
+			}
+			dst := out.Data()[r*e.width : (r+1)*e.width]
+			for i := range dst {
+				dst[i] = float32(at(r*e.width+i) * scale)
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("quant: cannot decode scheme %v", e.scheme))
+	}
+}
+
+// WireBytes returns the bytes the payload occupies on the wire: the quantity
+// compressed collectives charge to the traffic counters in place of the raw
+// 4 bytes/element.
+func (e *Encoded) WireBytes() int {
+	switch e.scheme {
+	case None:
+		if e.raw == nil {
+			return 0
+		}
+		return 4 * e.raw.Len()
+	case FP16:
+		return 2 * len(e.f16)
+	case INT8:
+		return len(e.q) + 4*e.rows
+	case INT4:
+		return len(e.nib) + 4*e.rows
+	default:
+		return 0
+	}
+}

@@ -12,6 +12,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"dmt/internal/tensor"
 )
@@ -43,6 +44,27 @@ func (s Scheme) String() string {
 	}
 }
 
+// Schemes lists every scheme in fidelity order, for sweeps and exhaustive
+// tests.
+func Schemes() []Scheme { return []Scheme{None, FP16, INT8, INT4} }
+
+// ParseScheme converts a command-line name ("fp32", "fp16", "int8", "int4")
+// into a Scheme. "none" and the empty string alias fp32.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "", "none", "fp32":
+		return None, nil
+	case "fp16", "half":
+		return FP16, nil
+	case "int8":
+		return INT8, nil
+	case "int4":
+		return INT4, nil
+	default:
+		return None, fmt.Errorf("quant: unknown scheme %q (want fp32, fp16, int8, or int4)", name)
+	}
+}
+
 // BytesPerElem returns the wire size per element (the performance model's
 // EmbBytesPerElem).
 func (s Scheme) BytesPerElem() float64 {
@@ -62,30 +84,20 @@ func (s Scheme) BytesPerElem() float64 {
 
 // Apply encodes and immediately decodes t under the scheme, returning the
 // tensor as it would arrive after a quantized collective. None returns the
-// input unchanged.
+// input unchanged. Apply is exactly Encode followed by Decode, so a rank can
+// predict locally (for error-feedback residuals) what every receiver of its
+// compressed payload will reconstruct.
 func Apply(s Scheme, t *tensor.Tensor) *tensor.Tensor {
-	switch s {
-	case None:
+	if s == None {
 		return t
-	case FP16:
-		return Apply16(t)
-	case INT8:
-		return roundTripLinear(t, 127)
-	case INT4:
-		return roundTripLinear(t, 7)
-	default:
-		panic("quant: unknown scheme " + s.String())
 	}
+	return Encode(s, t).Decode()
 }
 
 // Apply16 rounds every element to the nearest IEEE 754 half-precision
 // value (round-to-nearest-even), the error model of fp16 collectives.
 func Apply16(t *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(t.Shape()...)
-	for i, v := range t.Data() {
-		out.Data()[i] = FromFloat16(ToFloat16(v))
-	}
-	return out
+	return Apply(FP16, t)
 }
 
 // ToFloat16 converts a float32 to IEEE 754 binary16 bits with
@@ -105,15 +117,16 @@ func ToFloat16(f float32) uint16 {
 		if exp < -10 {
 			return sign // underflow to zero
 		}
-		// Subnormal: shift mantissa (with implicit leading 1).
+		// Subnormal: shift mantissa (with implicit leading 1) and round to
+		// nearest even like the normal path: add (half-1) plus the kept LSB,
+		// so ties round up exactly when the truncated result would be odd.
+		// (A previous version truncated every tie, rounding e.g. 513.5
+		// subnormal ulps down to 513 instead of the even 514 — found by
+		// FuzzFloat16RoundTrip.)
 		mant |= 0x800000
 		shift := uint32(14 - exp)
 		half := uint32(1) << (shift - 1)
-		rounded := mant + half
-		// Round-to-nearest-even on ties.
-		if mant&(half|(half-1)) == half {
-			rounded = mant
-		}
+		rounded := mant + (half - 1) + (mant>>shift)&1
 		return sign | uint16(rounded>>shift)
 	default:
 		// Normal: round mantissa from 23 to 10 bits, nearest even.
@@ -155,43 +168,6 @@ func FromFloat16(h uint16) float32 {
 	default:
 		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
 	}
-}
-
-// roundTripLinear applies symmetric per-row linear quantization with the
-// given max level (127 for int8, 7 for int4). 1-D tensors quantize with a
-// single scale.
-func roundTripLinear(t *tensor.Tensor, levels float64) *tensor.Tensor {
-	out := tensor.New(t.Shape()...)
-	rows, width := 1, t.Len()
-	if t.Rank() >= 2 {
-		width = t.Dim(-1)
-		rows = t.Len() / width
-	}
-	for r := 0; r < rows; r++ {
-		src := t.Data()[r*width : (r+1)*width]
-		dst := out.Data()[r*width : (r+1)*width]
-		maxAbs := 0.0
-		for _, v := range src {
-			if a := math.Abs(float64(v)); a > maxAbs {
-				maxAbs = a
-			}
-		}
-		if maxAbs == 0 {
-			continue
-		}
-		scale := maxAbs / levels
-		for i, v := range src {
-			q := math.Round(float64(v) / scale)
-			if q > levels {
-				q = levels
-			}
-			if q < -levels {
-				q = -levels
-			}
-			dst[i] = float32(q * scale)
-		}
-	}
-	return out
 }
 
 // MaxRelError returns the worst-case relative rounding error of a scheme on

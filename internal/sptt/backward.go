@@ -50,7 +50,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 				}
 				pchunks[t] = blk
 			}
-			pg := peerC.AlltoAllTensors(pchunks)
+			pg := peerC.AlltoAllTensorsQ(st.crossHost, pchunks)
 			dShuffled = tensor.New(T, ft, B*N)
 			for p := 0; p < T; p++ {
 				copy(dShuffled.Data()[p*ft*B*N:(p+1)*ft*B*N], pg[p].Data())
@@ -67,7 +67,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 			for t := 0; t < T; t++ {
 				pchunks[t] = parts[t]
 			}
-			pg := peerC.AlltoAllTensors(pchunks)
+			pg := peerC.AlltoAllTensorsQ(st.crossHost, pchunks)
 			oT := mod.OutDim()
 			dCompressed := tensor.New(T*B, oT)
 			for p := 0; p < T; p++ {

@@ -5,6 +5,7 @@ import (
 
 	"dmt/internal/comm"
 	"dmt/internal/nn"
+	"dmt/internal/quant"
 	"dmt/internal/tensor"
 )
 
@@ -90,6 +91,10 @@ func (gs *groupSet) fold() (globalM, hostM, peerM [][]int64) {
 type SPTTState struct {
 	lookups []*rankLookupState
 	modules []TowerModule // per rank; nil for the pass-through transform
+	// crossHost is the forward pass's cross-host wire scheme; the backward
+	// pass reuses it so both directions of the peer exchange are compressed
+	// symmetrically.
+	crossHost quant.Scheme
 
 	// GlobalTraffic covers step (a); HostTraffic step (d); PeerTraffic
 	// step (f). All matrices are G×G, global-rank indexed.
@@ -119,6 +124,12 @@ type Options struct {
 	// touches the smaller object when the sparse inputs are lighter than
 	// the embeddings. Semantically identical; the tests assert it.
 	SwapLookupPermute bool
+	// CrossHost quantizes the cross-host hops of the dataflow — the step (f)
+	// peer AlltoAll and its backward counterpart — while intra-host traffic
+	// (step (d) and the tower-module gradient reduction, NVLink in the real
+	// system) stays fp32: the topology-aware compression policy. quant.None
+	// keeps the dataflow bitwise identical to the uncompressed transform.
+	CrossHost quant.Scheme
 }
 
 // SPTTForward runs the pass-through transform (steps a–f, no tower module):
@@ -153,7 +164,11 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 	perm := PeerOrder(cfg.G, cfg.L)
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 	outs := make([]*tensor.Tensor, cfg.G)
-	st := &SPTTState{lookups: make([]*rankLookupState, cfg.G), modules: modules}
+	st := &SPTTState{
+		lookups:   make([]*rankLookupState, cfg.G),
+		modules:   modules,
+		crossHost: opt.CrossHost,
+	}
 
 	comm.Run(gs.global, func(c *comm.Comm) {
 		rank := c.Rank()
@@ -230,14 +245,15 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 		shuffled := tensor.Transpose3D01(towerData.Reshape(ft, T, B*N)) // (T, F_t, B*N)
 
 		if modules == nil {
-			// Step (f): peer AlltoAll of the raw tower block.
+			// Step (f): peer AlltoAll of the raw tower block — the cross-host
+			// hop, quantized under the topology-aware policy.
 			pchunks := make([]*tensor.Tensor, T)
 			for t := 0; t < T; t++ {
 				blk := tensor.New(ft, B, N)
 				copy(blk.Data(), shuffled.Data()[t*ft*B*N:(t+1)*ft*B*N])
 				pchunks[t] = blk
 			}
-			pg := peerC.AlltoAllTensors(pchunks)
+			pg := peerC.AlltoAllTensorsQ(opt.CrossHost, pchunks)
 
 			out := tensor.New(B, cfg.F(), N)
 			for t := 0; t < T; t++ {
@@ -271,14 +287,15 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 			panic(fmt.Sprintf("sptt: tower module returned %v, want (%d, %d)", compressed.Shape(), T*B, oT))
 		}
 
-		// Step (f) on compressed payloads: slice per peer block.
+		// Step (f) on compressed payloads: slice per peer block. The wire
+		// scheme stacks on top of the tower module's dimensional compression.
 		pchunks := make([]*tensor.Tensor, T)
 		for t := 0; t < T; t++ {
 			blk := tensor.New(B, oT)
 			copy(blk.Data(), compressed.Data()[t*B*oT:(t+1)*B*oT])
 			pchunks[t] = blk
 		}
-		pg := peerC.AlltoAllTensors(pchunks)
+		pg := peerC.AlltoAllTensorsQ(opt.CrossHost, pchunks)
 
 		// Output: concat tower outputs in tower order: (B, Σ O_t).
 		parts := make([]*tensor.Tensor, T)
