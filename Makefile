@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train fuzz-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -27,15 +27,36 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m .
 
 # One iteration of the fast benchmarks: proves they compile and run.
-# BenchmarkDistributedStep includes the compressed-wire (fp16/int8) step
-# variants, so the smoke run covers the quantized collectives too.
+# BenchmarkDistributedStep includes the compressed-wire (fp16/int8) and
+# overlapped-schedule step variants, so the smoke run covers the quantized
+# collectives and the async handle path too.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^(Benchmark(Serve|SPTT|TrainStep|Timeline)_|BenchmarkDistributedStep)' -benchtime 1x -timeout 20m .
 
-# The distributed-training engine comparison: sequential vs rank-parallel,
-# plus the compressed-wire variants.
+# The distributed-training engine comparison: sequential vs rank-parallel
+# vs overlapped, plus the compressed-wire variants.
 bench-train:
 	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep' -benchtime 5x -timeout 20m .
+
+# Overlap comparison: blocking vs overlapped engines side by side. The
+# overlapped rows should report lower exposed-ms/step; the fp16 pair at
+# G=8 is the acceptance comparison.
+bench-overlap:
+	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep/(rank-parallel|overlap)' -benchtime 5x -timeout 20m .
+
+# CI gate behind the overlap claim: run the blocking and overlapped fp16
+# step at G=8 and FAIL unless the overlapped row reports strictly lower
+# exposed-ms/step — an overlap regression breaks the build, it doesn't
+# just print.
+bench-overlap-check:
+	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep/(rank-parallel|overlap)/fp16/G=8$$' -benchtime 3x -timeout 10m . > bench-overlap.out
+	@cat bench-overlap.out
+	@awk '/rank-parallel\/fp16/ { for (i = 2; i <= NF; i++) if ($$i == "exposed-ms/step") base = $$(i-1) } \
+	     /overlap\/fp16/ { for (i = 2; i <= NF; i++) if ($$i == "exposed-ms/step") ov = $$(i-1) } \
+	     END { if (base == "" || ov == "") { print "bench-overlap-check: exposed-ms/step metrics not found"; exit 1 } \
+	           printf "exposed-ms/step: blocking %s vs overlapped %s\n", base, ov; \
+	           if (ov + 0 >= base + 0) { print "bench-overlap-check: FAIL - overlap did not reduce exposed comm"; exit 1 } }' bench-overlap.out
+	@rm -f bench-overlap.out
 
 # Short native-fuzz runs over the wire codec (go test allows one -fuzz
 # target per invocation, hence the two runs).

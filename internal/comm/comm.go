@@ -1,30 +1,56 @@
 // Package comm is the in-process collective-communication runtime that
 // stands in for NCCL. Ranks are goroutines; a Group is a private full mesh
-// of buffered channels; collectives (AlltoAll, AllReduce, ReduceScatter,
-// AllGather, Broadcast, Barrier) move real tensors between ranks.
+// of unbounded FIFO mailboxes; collectives (AlltoAll, AllReduce,
+// ReduceScatter, AllGather, Broadcast, Barrier) move real tensors between
+// ranks.
+//
+// Every collective comes in two forms: a blocking call and a non-blocking
+// I* variant (IAlltoAllTensors, IAllReduceSum, ...) that posts its sends
+// immediately and returns a Pending handle whose Wait() drains the receives
+// and finishes the reduction. The blocking calls are thin I*-plus-Wait
+// wrappers, so both forms share one implementation, one traffic accounting,
+// and one determinism argument. Handles let callers overlap communication
+// with compute: post, do rank-local work, then Wait — the runtime tracks
+// how long each rank actually blocked (exposed time) versus how long posted
+// collectives sat in flight under compute (hidden time).
 //
 // The runtime is deterministic: every collective delivers results in source
 // rank order and reductions accumulate in rank order, so repeated runs are
 // bit-identical — which is what lets the SPTT semantic-preservation tests
 // (package sptt) compare the transformed dataflow against the baseline
-// global AlltoAll exactly.
+// global AlltoAll exactly, and what makes the overlapped training schedule
+// (package distributed) bitwise identical to the sequential one.
 //
 // Per-pair traffic counters record how many bytes each rank sent to each
-// other rank. Given a host mapping, callers can split that into intra-host
-// (NVLink in the real system) and cross-host (RDMA) volumes — the quantity
-// the paper's whole argument is about.
+// other rank; they are maintained atomically so monitors may snapshot them
+// while ranks are still sending. Given a host mapping, callers can split
+// traffic into intra-host (NVLink in the real system) and cross-host (RDMA)
+// volumes — the quantity the paper's whole argument is about.
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dmt/internal/tensor"
 )
 
+// errCanceled is the panic value delivered to ranks blocked on (or sending
+// into) a canceled group: when one rank of a Run panics, the group is
+// canceled so its peers abort instead of deadlocking on receives that will
+// never be satisfied. Run recognizes the value and reports the originating
+// panic, not the cascade.
+var errCanceled = errors.New("comm: group canceled")
+
 // Comm is one rank's handle to a communication group. All collective calls
 // must be made by every rank of the group, in the same order, each from its
-// own goroutine (see Run).
+// own goroutine (see Run). Pending handles issued on a group must be waited
+// in issue order, with no other collective on the same group in between
+// (mailbox FIFO order is the wire format; Wait enforces the order and
+// panics on a violation).
 //
 // Payloads are delivered by reference, not copied (the in-process analog of
 // zero-copy RDMA). A sender must therefore not mutate a tensor after
@@ -33,18 +59,101 @@ import (
 type Comm struct {
 	rank int
 	g    *group
+
+	// Issue/wait sequence numbers for Pending handles and the per-rank
+	// exposed/hidden time counters. Touched only by this rank's goroutine;
+	// read by others only after the rank goroutines have been joined.
+	issueSeq  uint64
+	waitSeq   uint64
+	exposedNS int64
+	hiddenNS  int64
+}
+
+// mailbox is one directed (src, dst) link: an unbounded FIFO queue. The
+// unbounded capacity is what makes non-blocking collectives possible — a
+// rank can post the sends of several collectives before any peer drains
+// them, and per-pair FIFO order keeps consecutive collectives from
+// interleaving.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     sync.Cond
+	q        []any
+	head     int
+	canceled bool
+}
+
+func (m *mailbox) put(v any) {
+	m.mu.Lock()
+	if m.canceled {
+		m.mu.Unlock()
+		panic(errCanceled)
+	}
+	m.q = append(m.q, v)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// take pops the oldest message, blocking until one arrives. It returns the
+// nanoseconds this call actually spent blocked — the receiver's exposed
+// communication time for this message.
+func (m *mailbox) take() (v any, blockedNS int64) {
+	m.mu.Lock()
+	if m.canceled {
+		m.mu.Unlock()
+		panic(errCanceled)
+	}
+	if m.head == len(m.q) {
+		start := time.Now()
+		for m.head == len(m.q) && !m.canceled {
+			m.cond.Wait()
+		}
+		blockedNS = time.Since(start).Nanoseconds()
+		if m.canceled {
+			m.mu.Unlock()
+			panic(errCanceled)
+		}
+	}
+	v = m.q[m.head]
+	m.q[m.head] = nil
+	m.head++
+	if m.head == len(m.q) {
+		m.q = m.q[:0]
+		m.head = 0
+	}
+	m.mu.Unlock()
+	return v, blockedNS
+}
+
+func (m *mailbox) cancel() {
+	m.mu.Lock()
+	m.canceled = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 type group struct {
 	size int
-	// mail[dst][src] carries messages from src to dst. Capacity 1 per pair:
-	// one collective has at most one message in flight per directed pair,
-	// and channel FIFO ordering serializes consecutive collectives.
-	mail [][]chan any
-	// sent[src][dst] counts payload bytes; written only by src's rank
-	// goroutine, read after Run returns (the join provides the
-	// happens-before edge).
+	// mail[dst][src] carries messages from src to dst.
+	mail [][]*mailbox
+	// sent[src][dst] counts payload bytes. Written with atomic adds on the
+	// send path and read with atomic loads, so monitors can snapshot
+	// traffic while ranks are still sending without a group-wide lock on
+	// the hot path.
 	sent [][]int64
+
+	cancelOnce sync.Once
+}
+
+// cancel poisons every mailbox of the group: blocked receivers wake and
+// panic with errCanceled, and further sends panic too. Idempotent.
+func (g *group) cancel() {
+	g.cancelOnce.Do(func() {
+		for _, row := range g.mail {
+			for _, m := range row {
+				m.cancel()
+			}
+		}
+	})
 }
 
 // NewGroup creates a fresh group of the given size and returns one Comm per
@@ -56,13 +165,15 @@ func NewGroup(size int) []*Comm {
 		panic(fmt.Sprintf("comm: group size %d", size))
 	}
 	g := &group{size: size}
-	g.mail = make([][]chan any, size)
+	g.mail = make([][]*mailbox, size)
 	g.sent = make([][]int64, size)
 	for d := 0; d < size; d++ {
-		g.mail[d] = make([]chan any, size)
+		g.mail[d] = make([]*mailbox, size)
 		g.sent[d] = make([]int64, size)
 		for s := 0; s < size; s++ {
-			g.mail[d][s] = make(chan any, 1)
+			m := &mailbox{}
+			m.cond.L = &m.mu
+			g.mail[d][s] = m
 		}
 	}
 	comms := make([]*Comm, size)
@@ -78,28 +189,55 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the group size.
 func (c *Comm) Size() int { return c.g.size }
 
-// BytesSentTo returns the bytes this rank sent to dst so far. Valid to read
-// after the rank goroutines have been joined.
-func (c *Comm) BytesSentTo(dst int) int64 { return c.g.sent[c.rank][dst] }
+// BytesSentTo returns the bytes this rank sent to dst so far. Safe to call
+// while rank goroutines are still running (atomic snapshot).
+func (c *Comm) BytesSentTo(dst int) int64 {
+	return atomic.LoadInt64(&c.g.sent[c.rank][dst])
+}
 
 // BytesSent returns total bytes sent by this rank, excluding self-delivery.
+// Safe to call while rank goroutines are still running.
 func (c *Comm) BytesSent() int64 {
 	var t int64
-	for d, b := range c.g.sent[c.rank] {
+	for d := range c.g.sent[c.rank] {
 		if d != c.rank {
-			t += b
+			t += atomic.LoadInt64(&c.g.sent[c.rank][d])
 		}
 	}
 	return t
 }
 
+// Times returns this rank's cumulative collective timing: exposed is time
+// actually spent blocked in receives (communication the schedule failed to
+// hide), hidden is the in-flight window of Pending handles between issue
+// and Wait (communication covered by overlapping compute). Valid to read
+// after the rank goroutines have been joined.
+func (c *Comm) Times() (exposed, hidden time.Duration) {
+	return time.Duration(c.exposedNS), time.Duration(c.hiddenNS)
+}
+
+// GroupTimes sums Times over all ranks of a group. Valid after the rank
+// goroutines have been joined.
+func GroupTimes(comms []*Comm) (exposed, hidden time.Duration) {
+	for _, c := range comms {
+		e, h := c.Times()
+		exposed += e
+		hidden += h
+	}
+	return exposed, hidden
+}
+
 // TrafficMatrix returns a copy of the (src, dst) byte counters for the whole
-// group. Valid after the rank goroutines have been joined.
+// group. The snapshot is taken with atomic loads, so it is safe to call
+// while rank goroutines are still sending.
 func TrafficMatrix(comms []*Comm) [][]int64 {
 	g := comms[0].g
 	out := make([][]int64, g.size)
 	for s := range out {
-		out[s] = append([]int64(nil), g.sent[s]...)
+		out[s] = make([]int64, g.size)
+		for d := range out[s] {
+			out[s][d] = atomic.LoadInt64(&g.sent[s][d])
+		}
 	}
 	return out
 }
@@ -127,11 +265,15 @@ func SplitByHost(m [][]int64, l int) (intra, cross int64) {
 }
 
 func (c *Comm) send(dst int, v any, nbytes int) {
-	c.g.sent[c.rank][dst] += int64(nbytes)
-	c.g.mail[dst][c.rank] <- v
+	atomic.AddInt64(&c.g.sent[c.rank][dst], int64(nbytes))
+	c.g.mail[dst][c.rank].put(v)
 }
 
-func (c *Comm) recv(src int) any { return <-c.g.mail[c.rank][src] }
+func (c *Comm) recv(src int) any {
+	v, blocked := c.g.mail[c.rank][src].take()
+	c.exposedNS += blocked
+	return v
+}
 
 func tensorBytes(t *tensor.Tensor) int {
 	if t == nil {
@@ -144,62 +286,25 @@ func tensorBytes(t *tensor.Tensor) int {
 // indexed by source rank. Chunk shapes may differ per destination (the "V"
 // variant), which the embedding distribution steps rely on.
 func (c *Comm) AlltoAllTensors(chunks []*tensor.Tensor) []*tensor.Tensor {
-	n := c.g.size
-	if len(chunks) != n {
-		panic(fmt.Sprintf("comm: AlltoAll needs %d chunks, got %d", n, len(chunks)))
-	}
-	for d := 0; d < n; d++ {
-		c.send(d, chunks[d], tensorBytes(chunks[d]))
-	}
-	out := make([]*tensor.Tensor, n)
-	for s := 0; s < n; s++ {
-		v := c.recv(s)
-		if v != nil {
-			out[s] = v.(*tensor.Tensor)
-		}
-	}
-	return out
+	return c.IAlltoAllTensors(chunks).Wait()
 }
 
 // AlltoAllInt32 is AlltoAllTensors for index payloads (the sparse-feature
 // distribution of SPTT/baseline step a sends indices, not embeddings).
 func (c *Comm) AlltoAllInt32(chunks [][]int32) [][]int32 {
-	n := c.g.size
-	if len(chunks) != n {
-		panic(fmt.Sprintf("comm: AlltoAllInt32 needs %d chunks, got %d", n, len(chunks)))
-	}
-	for d := 0; d < n; d++ {
-		c.send(d, chunks[d], 4*len(chunks[d]))
-	}
-	out := make([][]int32, n)
-	for s := 0; s < n; s++ {
-		v := c.recv(s)
-		if v != nil {
-			out[s] = v.([]int32)
-		}
-	}
-	return out
+	return c.IAlltoAllInt32(chunks).Wait()
 }
 
 // AllGather distributes x to every rank; the result is indexed by source.
 func (c *Comm) AllGather(x *tensor.Tensor) []*tensor.Tensor {
-	chunks := make([]*tensor.Tensor, c.g.size)
-	for d := range chunks {
-		chunks[d] = x
-	}
-	return c.AlltoAllTensors(chunks)
+	return c.IAllGather(x).Wait()
 }
 
 // AllReduceSum returns the elementwise sum of every rank's x. The reduction
 // is performed in rank order on every rank, so all ranks obtain bit-identical
 // results (deterministic, unlike real ring reductions).
 func (c *Comm) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
-	parts := c.AllGather(x)
-	out := parts[0].Clone()
-	for s := 1; s < len(parts); s++ {
-		tensor.AddInPlace(out, parts[s])
-	}
-	return out
+	return c.IAllReduceSum(x).Wait()
 }
 
 // ReduceScatterSum sends chunks[j] to rank j and returns the rank-ordered
@@ -207,16 +312,23 @@ func (c *Comm) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
 // row-wise-sharded multi-hot tables (§3.1.3), where partial pooled
 // embeddings must be summed rather than concatenated.
 func (c *Comm) ReduceScatterSum(chunks []*tensor.Tensor) *tensor.Tensor {
-	parts := c.AlltoAllTensors(chunks)
-	out := parts[0].Clone()
-	for s := 1; s < len(parts); s++ {
-		tensor.AddInPlace(out, parts[s])
+	return c.IReduceScatterSum(chunks).Wait()
+}
+
+// checkIdle panics if this rank still has unwaited Pending handles. The
+// direct-receive collectives (Broadcast, Barrier) do not go through the
+// handle sequencing, so running one with a collective in flight would
+// silently steal the pending collective's mailbox payloads.
+func (c *Comm) checkIdle(op string) {
+	if c.waitSeq != c.issueSeq {
+		panic(fmt.Sprintf("comm: rank %d called %s with %d pending handle(s) unwaited",
+			c.rank, op, c.issueSeq-c.waitSeq))
 	}
-	return out
 }
 
 // Broadcast returns root's x on every rank.
 func (c *Comm) Broadcast(x *tensor.Tensor, root int) *tensor.Tensor {
+	c.checkIdle("Broadcast")
 	if c.rank == root {
 		for d := 0; d < c.g.size; d++ {
 			if d != root {
@@ -230,6 +342,7 @@ func (c *Comm) Broadcast(x *tensor.Tensor, root int) *tensor.Tensor {
 
 // Barrier blocks until every rank of the group has entered it.
 func (c *Comm) Barrier() {
+	c.checkIdle("Barrier")
 	for d := 0; d < c.g.size; d++ {
 		c.send(d, nil, 0)
 	}
@@ -239,9 +352,31 @@ func (c *Comm) Barrier() {
 }
 
 // Run executes fn once per rank, each in its own goroutine, and waits for
-// all of them. A panic in any rank is captured and re-raised in the caller
-// with its rank attached, so test failures point at the offending rank.
+// all of them. A panic in any rank cancels the group — peers blocked on its
+// messages abort instead of deadlocking — and Run re-raises the originating
+// panic with its rank attached, so test failures point at the offending
+// rank rather than hanging. A group that has been canceled this way must
+// not be reused.
+//
+// If fn also performs collectives on additional groups (as the SPTT
+// dataflow does on its host and peer families), use RunLinked so those
+// groups are canceled too.
 func Run(comms []*Comm, fn func(c *Comm)) {
+	RunLinked(comms, nil, fn)
+}
+
+// RunLinked is Run for dataflows whose fn performs collectives on further
+// groups besides the one it is invoked on: a rank panic cancels the primary
+// group and every linked group, so peers blocked on any of them abort
+// instead of deadlocking.
+func RunLinked(comms []*Comm, linked [][]*Comm, fn func(c *Comm)) {
+	g := comms[0].g
+	cancelAll := func() {
+		g.cancel()
+		for _, lg := range linked {
+			lg[0].g.cancel()
+		}
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, len(comms))
 	for i, c := range comms {
@@ -251,15 +386,23 @@ func Run(comms []*Comm, fn func(c *Comm)) {
 			defer func() {
 				if r := recover(); r != nil {
 					panics[i] = r
+					cancelAll()
 				}
 			}()
 			fn(c)
 		}(i, c)
 	}
 	wg.Wait()
+	// Report the lowest-rank real panic; errCanceled entries are cascades
+	// from the cancellation, not failures of their own.
+	for i, p := range panics {
+		if p != nil && p != errCanceled {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", i, p))
+		}
+	}
 	for i, p := range panics {
 		if p != nil {
-			panic(fmt.Sprintf("comm: rank %d panicked: %v", i, p))
+			panic(fmt.Sprintf("comm: rank %d aborted: group canceled externally", i))
 		}
 	}
 }

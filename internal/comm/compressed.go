@@ -18,6 +18,11 @@ import (
 // uncompressed call through the Q variant is bitwise identical to — and as
 // cheap as — the plain collective.
 //
+// Like the raw collectives, every Q collective also has a non-blocking I*Q
+// form: encoding happens at issue time (on the sender, once), decoding at
+// Wait time (per receiver), so the wire window between them can be hidden
+// behind compute.
+//
 // Determinism is preserved: encoding happens once on the sender, Decode is a
 // pure function of the payload, and reductions still accumulate in source
 // rank order, so every rank of a compressed AllReduce obtains bit-identical
@@ -25,12 +30,12 @@ import (
 // from its own contribution via quant.Apply — the property the distributed
 // trainer's error-feedback residuals rely on.
 
-// AlltoAllTensorsQ is AlltoAllTensors over quantized payloads: chunks[j]
-// travels to rank j at wire size and arrives decoded. Nil chunks are
-// delivered as nil, as in the raw variant.
-func (c *Comm) AlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) []*tensor.Tensor {
+// IAlltoAllTensorsQ posts quantized chunks and returns a handle resolving to
+// the decoded chunks indexed by source rank. Nil chunks are delivered as
+// nil, as in the raw variant.
+func (c *Comm) IAlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) *Pending[[]*tensor.Tensor] {
 	if s == quant.None {
-		return c.AlltoAllTensors(chunks)
+		return c.IAlltoAllTensors(chunks)
 	}
 	n := c.g.size
 	if len(chunks) != n {
@@ -45,62 +50,142 @@ func (c *Comm) AlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) []*tens
 		}
 		c.send(d, enc, nbytes)
 	}
-	out := make([]*tensor.Tensor, n)
-	for src := 0; src < n; src++ {
-		if enc := c.recv(src).(*quant.Encoded); enc != nil {
-			out[src] = enc.Decode()
+	return newPending(c, func() []*tensor.Tensor {
+		out := make([]*tensor.Tensor, n)
+		for src := 0; src < n; src++ {
+			if enc := c.recv(src).(*quant.Encoded); enc != nil {
+				out[src] = enc.Decode()
+			}
 		}
-	}
-	return out
+		return out
+	})
 }
 
-// AllGatherQ distributes x to every rank in quantized form. The payload is
-// encoded once and every receiver — including the sender itself — decodes
-// its own copy, so all ranks see the same post-quantization values.
-func (c *Comm) AllGatherQ(s quant.Scheme, x *tensor.Tensor) []*tensor.Tensor {
+// AlltoAllTensorsQ is AlltoAllTensors over quantized payloads: chunks[j]
+// travels to rank j at wire size and arrives decoded.
+func (c *Comm) AlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) []*tensor.Tensor {
+	return c.IAlltoAllTensorsQ(s, chunks).Wait()
+}
+
+// IAllGatherQ posts x in quantized form and returns a handle resolving to
+// the gathered, decoded tensors. The payload is encoded once and every
+// receiver — including the sender itself — decodes its own copy, so all
+// ranks see the same post-quantization values.
+func (c *Comm) IAllGatherQ(s quant.Scheme, x *tensor.Tensor) *Pending[[]*tensor.Tensor] {
 	if s == quant.None {
-		return c.AllGather(x)
+		return c.IAllGather(x)
 	}
+	n := c.g.size
 	enc := quant.Encode(s, x)
-	for d := 0; d < c.g.size; d++ {
+	for d := 0; d < n; d++ {
 		c.send(d, enc, enc.WireBytes())
 	}
-	out := make([]*tensor.Tensor, c.g.size)
-	for src := 0; src < c.g.size; src++ {
-		out[src] = c.recv(src).(*quant.Encoded).Decode()
+	return newPending(c, func() []*tensor.Tensor {
+		out := make([]*tensor.Tensor, n)
+		for src := 0; src < n; src++ {
+			out[src] = c.recv(src).(*quant.Encoded).Decode()
+		}
+		return out
+	})
+}
+
+// AllGatherQ distributes x to every rank in quantized form.
+func (c *Comm) AllGatherQ(s quant.Scheme, x *tensor.Tensor) []*tensor.Tensor {
+	return c.IAllGatherQ(s, x).Wait()
+}
+
+// IAllGatherBatchQ is IAllGatherBatch over a quantized wire. Each tensor in
+// the batch is encoded separately — preserving its own row structure, which
+// is what keeps bucketed compressed reductions bitwise identical to
+// per-tensor ones — and every receiver decodes its own copies.
+func (c *Comm) IAllGatherBatchQ(s quant.Scheme, xs []*tensor.Tensor) *Pending[[][]*tensor.Tensor] {
+	if s == quant.None {
+		return c.IAllGatherBatch(xs)
 	}
-	return out
+	n := c.g.size
+	encs := make([]*quant.Encoded, len(xs))
+	bytes := 0
+	for i, x := range xs {
+		encs[i] = quant.Encode(s, x)
+		bytes += encs[i].WireBytes()
+	}
+	for d := 0; d < n; d++ {
+		c.send(d, encs, bytes)
+	}
+	return newPending(c, func() [][]*tensor.Tensor {
+		out := make([][]*tensor.Tensor, n)
+		for src := 0; src < n; src++ {
+			es := c.recv(src).([]*quant.Encoded)
+			ts := make([]*tensor.Tensor, len(es))
+			for i, e := range es {
+				ts[i] = e.Decode()
+			}
+			out[src] = ts
+		}
+		return out
+	})
+}
+
+// IAllReduceSumQ posts x in quantized form and returns a handle resolving
+// to the rank-ordered sum of every rank's quantized contribution. Because
+// each contribution is quantized identically for every receiver, all ranks
+// obtain bit-identical sums.
+func (c *Comm) IAllReduceSumQ(s quant.Scheme, x *tensor.Tensor) *Pending[*tensor.Tensor] {
+	if s == quant.None {
+		return c.IAllReduceSum(x)
+	}
+	n := c.g.size
+	enc := quant.Encode(s, x)
+	for d := 0; d < n; d++ {
+		c.send(d, enc, enc.WireBytes())
+	}
+	return newPending(c, func() *tensor.Tensor {
+		// Decode allocates per receiver, so the src-0 decode is this rank's
+		// own buffer and can accumulate in place.
+		out := c.recv(0).(*quant.Encoded).Decode()
+		for src := 1; src < n; src++ {
+			tensor.AddInPlace(out, c.recv(src).(*quant.Encoded).Decode())
+		}
+		return out
+	})
 }
 
 // AllReduceSumQ sums every rank's quantized contribution in rank order.
-// Because each contribution is quantized identically for every receiver, all
-// ranks obtain bit-identical sums.
 func (c *Comm) AllReduceSumQ(s quant.Scheme, x *tensor.Tensor) *tensor.Tensor {
-	if s == quant.None {
-		return c.AllReduceSum(x)
-	}
-	parts := c.AllGatherQ(s, x)
-	// Decode allocates per receiver, so parts[0] is this rank's own buffer
-	// and can accumulate in place.
-	out := parts[0]
-	for src := 1; src < len(parts); src++ {
-		tensor.AddInPlace(out, parts[src])
-	}
-	return out
+	return c.IAllReduceSumQ(s, x).Wait()
 }
 
-// ReduceScatterSumQ is ReduceScatterSum over quantized chunks: the
-// rank-ordered sum of the decoded chunks addressed to this rank.
-func (c *Comm) ReduceScatterSumQ(s quant.Scheme, chunks []*tensor.Tensor) *tensor.Tensor {
+// IReduceScatterSumQ posts quantized chunks and returns a handle resolving
+// to the rank-ordered sum of the decoded chunks addressed to this rank.
+// Unlike the AlltoAll variants, every chunk must be non-nil: the reduction
+// needs a contribution from every rank.
+func (c *Comm) IReduceScatterSumQ(s quant.Scheme, chunks []*tensor.Tensor) *Pending[*tensor.Tensor] {
 	if s == quant.None {
-		return c.ReduceScatterSum(chunks)
+		return c.IReduceScatterSum(chunks)
 	}
-	parts := c.AlltoAllTensorsQ(s, chunks)
-	out := parts[0]
-	for src := 1; src < len(parts); src++ {
-		tensor.AddInPlace(out, parts[src])
+	n := c.g.size
+	if len(chunks) != n {
+		panic(fmt.Sprintf("comm: ReduceScatterQ needs %d chunks, got %d", n, len(chunks)))
 	}
-	return out
+	for d := 0; d < n; d++ {
+		if chunks[d] == nil {
+			panic(fmt.Sprintf("comm: ReduceScatterQ chunk for rank %d is nil", d))
+		}
+		enc := quant.Encode(s, chunks[d])
+		c.send(d, enc, enc.WireBytes())
+	}
+	return newPending(c, func() *tensor.Tensor {
+		out := c.recv(0).(*quant.Encoded).Decode()
+		for src := 1; src < n; src++ {
+			tensor.AddInPlace(out, c.recv(src).(*quant.Encoded).Decode())
+		}
+		return out
+	})
+}
+
+// ReduceScatterSumQ is ReduceScatterSum over quantized chunks.
+func (c *Comm) ReduceScatterSumQ(s quant.Scheme, chunks []*tensor.Tensor) *tensor.Tensor {
+	return c.IReduceScatterSumQ(s, chunks).Wait()
 }
 
 // BroadcastQ returns root's x quantized on every rank. The root decodes its
@@ -109,6 +194,7 @@ func (c *Comm) BroadcastQ(s quant.Scheme, x *tensor.Tensor, root int) *tensor.Te
 	if s == quant.None {
 		return c.Broadcast(x, root)
 	}
+	c.checkIdle("BroadcastQ")
 	if c.rank == root {
 		enc := quant.Encode(s, x)
 		for d := 0; d < c.g.size; d++ {

@@ -55,15 +55,20 @@ func TestCompressionNoneBitwiseGolden(t *testing.T) {
 
 // TestCompressedParallelMatchesSequentialBitwise extends the engine
 // equivalence theorem to the compressed wire: with fp16 gradient (error
-// feedback) and embedding compression, the rank-parallel collectives and
-// the sequential centralized mirror must still produce bitwise-identical
-// losses, parameters, tables, and residuals.
+// feedback) and embedding compression, the rank-parallel collectives —
+// blocking and overlapped — and the sequential centralized mirror must
+// still produce bitwise-identical losses, parameters, tables, and
+// residuals. The overlapped engine holds because buckets never split a
+// parameter, so the quantizer sees exactly the tensors the golden path
+// quantizes.
 func TestCompressedParallelMatchesSequentialBitwise(t *testing.T) {
 	for _, s := range []quant.Scheme{quant.FP16, quant.INT8} {
 		cfg, gen := testSetup(12)
 		cfg.Compression = Compression{Gradient: s, Embedding: s}
 		seqCfg := cfg
 		seqCfg.Sequential = true
+		ovCfg := cfg
+		ovCfg.Overlap = true
 		par, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -72,31 +77,44 @@ func TestCompressedParallelMatchesSequentialBitwise(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		ov, err := New(ovCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		const steps = 4
 		for step := 0; step < steps; step++ {
 			_, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
 			rp := par.Step(locals)
 			rs := seq.Step(locals)
+			ro := ov.Step(locals)
 			if rp.MeanLoss != rs.MeanLoss {
 				t.Fatalf("%s step %d: parallel loss %v != sequential %v", s, step, rp.MeanLoss, rs.MeanLoss)
 			}
-		}
-		for g := 0; g < cfg.G; g++ {
-			pp, sp := par.Replica(g).DenseParams(), seq.Replica(g).DenseParams()
-			for pi := range pp {
-				if !pp[pi].Value.Equal(sp[pi].Value) {
-					t.Fatalf("%s rank %d param %s differs between engines", s, g, pp[pi].Name)
-				}
-			}
-			for pi := range par.Replica(g).OverArchParams() {
-				if !par.Residual(g, pi).Equal(seq.Residual(g, pi)) {
-					t.Fatalf("%s rank %d: error-feedback residual %d differs between engines", s, g, pi)
-				}
+			if ro.MeanLoss != rs.MeanLoss {
+				t.Fatalf("%s step %d: overlapped loss %v != sequential %v", s, step, ro.MeanLoss, rs.MeanLoss)
 			}
 		}
-		for f := range par.Engine().Tables {
-			if !par.Engine().Tables[f].Table.Equal(seq.Engine().Tables[f].Table) {
-				t.Fatalf("%s: table %d differs between engines", s, f)
+		for _, eng := range []struct {
+			name string
+			tr   *Trainer
+		}{{"rank-parallel", par}, {"overlapped", ov}} {
+			for g := 0; g < cfg.G; g++ {
+				pp, sp := eng.tr.Replica(g).DenseParams(), seq.Replica(g).DenseParams()
+				for pi := range pp {
+					if !pp[pi].Value.Equal(sp[pi].Value) {
+						t.Fatalf("%s/%s rank %d param %s differs between engines", s, eng.name, g, pp[pi].Name)
+					}
+				}
+				for pi := range eng.tr.Replica(g).OverArchParams() {
+					if !eng.tr.Residual(g, pi).Equal(seq.Residual(g, pi)) {
+						t.Fatalf("%s/%s rank %d: error-feedback residual %d differs between engines", s, eng.name, g, pi)
+					}
+				}
+			}
+			for f := range eng.tr.Engine().Tables {
+				if !eng.tr.Engine().Tables[f].Table.Equal(seq.Engine().Tables[f].Table) {
+					t.Fatalf("%s/%s: table %d differs between engines", s, eng.name, f)
+				}
 			}
 		}
 	}

@@ -11,7 +11,11 @@
 // inside SPTTBackward, and sparse updates applied by each table's owner
 // rank. A sequential reference step (Config.Sequential) executes the same
 // mathematics in a single goroutine with centralized averaging loops, for
-// benchmarking and as a bitwise cross-check.
+// benchmarking and as a bitwise cross-check. A third schedule
+// (Config.Overlap, see overlap.go) reorders the rank-parallel step onto
+// non-blocking collectives so embedding and gradient communication hide
+// behind dense compute; Stats splits communication time into exposed vs
+// hidden to measure exactly how much was hidden.
 //
 // Gradients are normalized so that one distributed step over G ranks with
 // local batch B is mathematically identical to one single-process step over
@@ -53,6 +57,21 @@ type Config struct {
 	// rank-parallel engine. Both follow bitwise-identical trajectories; the
 	// sequential path exists as the benchmark baseline and cross-check.
 	Sequential bool
+	// Overlap selects the overlapped rank-parallel schedule: the SPTT
+	// forward's cross-host peer AlltoAll runs concurrently with the
+	// bottom-MLP forward, and the over-arch gradient AllReduce is launched
+	// in readiness-ordered buckets during the dense backward and completed
+	// behind the SPTT backward. Purely a scheduling change — per-parameter
+	// reductions still combine in source-rank order, so the trajectory is
+	// bitwise identical to the sequential and rank-parallel engines.
+	// Mutually exclusive with Sequential.
+	Overlap bool
+	// BucketBytes caps how many gradient bytes one overlapped AllReduce
+	// bucket carries. Parameters are always grouped whole: encoding
+	// boundaries must match the golden per-parameter trajectory, or
+	// compressed runs would quantize over different row structures and
+	// break bitwise identity. 0 means 64 KiB.
+	BucketBytes int
 	// Compression selects wire compression for the engine's collectives.
 	// The zero value (both schemes None) keeps the engine bitwise identical
 	// to the uncompressed trajectory.
@@ -99,6 +118,13 @@ type Trainer struct {
 	// parameter, (L-1) copies of the gradient leave the rank.
 	tmReduceBytes int64
 	stats         Stats
+	// buckets is the overlapped schedule's launch plan for the over-arch
+	// gradient reduction, in launch order (identical on every rank).
+	buckets []gradBucket
+	// Cumulative world-group timing at the end of the previous step, so
+	// each step can charge its own exposed/hidden delta.
+	lastWorldExposed time.Duration
+	lastWorldHidden  time.Duration
 
 	// residuals[g][pi] is rank g's error-feedback memory for over-arch
 	// parameter pi: the part of g+r the wire scheme rounded away last step.
@@ -120,6 +146,18 @@ type PhaseTimes struct {
 	GradExchange time.Duration
 	// Update covers dense optimizer steps and owner-applied sparse updates.
 	Update time.Duration
+	// ExposedComm is the mean-per-rank time ranks actually spent blocked in
+	// collective receives — communication the schedule failed to hide. It
+	// spans every group the step touched: the world group plus the SPTT
+	// dataflow's global/host/peer families, forward and backward.
+	ExposedComm time.Duration
+	// HiddenComm is the mean-per-rank in-flight window of non-blocking
+	// collectives between issue and Wait — communication covered by
+	// overlapping compute. Near zero for the blocking schedules; under
+	// Config.Overlap it is the quantity the refactor exists to maximize.
+	// Windows of concurrently in-flight collectives each count in full, so
+	// the sum can exceed the step's wall time (like aggregate bandwidth).
+	HiddenComm time.Duration
 }
 
 // Stats reports cumulative step counts, per-phase times, and gradient /
@@ -163,6 +201,9 @@ func New(cfg Config) (*Trainer, error) {
 	t := cfg.G / cfg.L
 	if len(cfg.Model.Towers) != t {
 		return nil, fmt.Errorf("distributed: %d towers for %d hosts", len(cfg.Model.Towers), t)
+	}
+	if cfg.Overlap && cfg.Sequential {
+		return nil, fmt.Errorf("distributed: Overlap requires the rank-parallel engine (Sequential=false)")
 	}
 	ordered, towerOf, rankOf, err := TowersInHostOrder(cfg.Model.Towers, cfg.Model.Schema.NumSparse(), cfg.L)
 	if err != nil {
@@ -212,6 +253,7 @@ func New(cfg Config) (*Trainer, error) {
 	}
 	tr.engine = eng
 	tr.world = comm.NewGroup(cfg.G)
+	tr.buckets = planBuckets(tr.replicas[0], cfg.BucketBytes)
 	if cfg.Compression.Gradient != quant.None {
 		for g := 0; g < cfg.G; g++ {
 			var rs []*tensor.Tensor
@@ -269,6 +311,9 @@ func (tr *Trainer) Step(batches []*data.Batch) StepResult {
 	if cfg.Sequential {
 		return tr.stepSequential(batches, inputs)
 	}
+	if cfg.Overlap {
+		return tr.stepOverlapped(batches, inputs)
+	}
 	return tr.stepParallel(batches, inputs)
 }
 
@@ -323,80 +368,136 @@ func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) St
 	// divide by G; sparse gradients likewise, scaled by their owner.
 	invG := 1 / float32(cfg.G)
 	comm.Run(tr.world, func(c *comm.Comm) {
-		g := c.Rank()
 		tr.reduceOverArch(c, invG)
-		for _, p := range tr.modules[g].Params() {
-			d := p.Grad.Data()
-			for i := range d {
-				d[i] *= invG
-			}
-		}
-		for _, f := range tr.engine.Cfg.OwnedFeatures(g) {
-			if sg := sparse[f]; sg != nil {
-				d := sg.Grads.Data()
-				for i := range d {
-					d[i] *= invG
-				}
-			}
-		}
+		tr.scaleRank(c.Rank(), sparse, invG)
 	})
 	t4 := time.Now()
 
 	// Updates: each rank steps its over-arch and its own tower module; each
-	// owner rank applies sparse updates to its canonical tables (tables are
-	// disjoint across owners and the optimizer state is primed).
+	// owner rank applies sparse updates to its canonical tables.
 	comm.Run(tr.world, func(c *comm.Comm) {
-		g := c.Rank()
-		params := append(append([]*nn.Param(nil), tr.replicas[g].OverArchParams()...),
-			tr.modules[g].Params()...)
-		tr.denseOpts[g].Step(params)
-		for _, f := range tr.engine.Cfg.OwnedFeatures(g) {
-			if sg := sparse[f]; sg != nil && len(sg.Rows) > 0 {
-				tr.sparseOpt.Step(tr.engine.Tables[f], sg)
-			}
-		}
+		tr.updateRank(c.Rank(), sparse)
 	})
 	t5 := time.Now()
 
+	exposed, hidden := tr.commTimes(st)
 	tr.account(st, PhaseTimes{
 		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
 		Dense:        t2.Sub(t1),
 		GradExchange: t4.Sub(t3),
 		Update:       t5.Sub(t4),
+		ExposedComm:  exposed,
+		HiddenComm:   hidden,
 	})
 	return res
 }
 
 // reduceOverArch averages this rank's over-arch gradients across all ranks
-// on the world group. With gradient compression active each rank sends its
-// contribution g + r over the compressed wire and remembers the round-trip
-// error r for the next step; decoding is deterministic and the sum runs in
-// source-rank order, so every rank still obtains bit-identical averages.
+// on the world group, one blocking bucket collective at a time. With
+// gradient compression active each rank sends its contribution g + r over
+// the compressed wire and remembers the round-trip error r for the next
+// step; decoding is deterministic and the sum runs in source-rank order, so
+// every rank still obtains bit-identical averages. The overlapped schedule
+// runs the same launchBucket/finishBucket pair split across the backward.
 func (tr *Trainer) reduceOverArch(c *comm.Comm, invG float32) {
 	g := c.Rank()
+	params := tr.replicas[g].OverArchParams()
+	for _, b := range tr.buckets {
+		tr.finishBucket(g, params, tr.launchBucket(c, g, params, b), invG)
+	}
+}
+
+// pendingBucket is one in-flight gradient bucket: the whole-parameter
+// contributions that went on the wire (needed for the error-feedback
+// residuals) plus the single batched collective carrying all of them.
+type pendingBucket struct {
+	params []int
+	vs     []*tensor.Tensor
+	h      *comm.Pending[[][]*tensor.Tensor]
+}
+
+// launchBucket posts rank g's reduction of one gradient bucket — every
+// parameter of the bucket rides a single batched AllGather message — and
+// returns without waiting. Gradients are cloned before sending: collectives
+// deliver by reference and p.Grad is overwritten while peers may still be
+// reading. Compressed runs add the error-feedback residual before encoding;
+// each parameter is encoded separately, so bucket boundaries never change
+// what the quantizer sees.
+func (tr *Trainer) launchBucket(c *comm.Comm, g int, params []*nn.Param, b gradBucket) pendingBucket {
 	s := tr.cfg.Compression.Gradient
-	for pi, p := range tr.replicas[g].OverArchParams() {
-		// Clone before sending: collectives deliver by reference and p.Grad
-		// is overwritten while peers may still be reading.
-		v := p.Grad.Clone()
+	vs := make([]*tensor.Tensor, len(b.params))
+	for i, pi := range b.params {
+		v := params[pi].Grad.Clone()
+		if s != quant.None {
+			tensor.AddInPlace(v, tr.residuals[g][pi])
+		}
+		vs[i] = v
+	}
+	return pendingBucket{params: b.params, vs: vs, h: c.IAllGatherBatchQ(s, vs)}
+}
+
+// finishBucket completes a launched bucket: waits for every rank's batch,
+// then per parameter sums the contributions in source-rank order
+// (compressed runs also refresh the error-feedback residual from what
+// peers decoded of this rank's payload), scales to the global-batch mean,
+// and writes the result back into the parameter gradient.
+func (tr *Trainer) finishBucket(g int, params []*nn.Param, pb pendingBucket, invG float32) {
+	parts := pb.h.Wait() // indexed [src][i]
+	s := tr.cfg.Compression.Gradient
+	for i, pi := range pb.params {
 		var avg *tensor.Tensor
 		if s == quant.None {
-			avg = c.AllReduceSum(v)
+			// Raw batches arrive by reference; clone src 0 to accumulate.
+			avg = parts[0][i].Clone()
 		} else {
-			tensor.AddInPlace(v, tr.residuals[g][pi])
-			parts := c.AllGatherQ(s, v)
-			// parts[g] is exactly what every peer decoded from this rank's
-			// payload; the shortfall feeds back into the next step.
-			tr.residuals[g][pi] = tensor.Sub(v, parts[g])
-			avg = parts[0] // decoded fresh per receiver; safe to accumulate
-			for src := 1; src < len(parts); src++ {
-				tensor.AddInPlace(avg, parts[src])
+			// parts[g][i] is exactly what every peer decoded from this
+			// rank's payload; the shortfall feeds back into the next step.
+			tr.residuals[g][pi] = tensor.Sub(pb.vs[i], parts[g][i])
+			avg = parts[0][i] // decoded fresh per receiver; safe to accumulate
+		}
+		for src := 1; src < len(parts); src++ {
+			tensor.AddInPlace(avg, parts[src][i])
+		}
+		for j, x := range avg.Data() {
+			avg.Data()[j] = x * invG
+		}
+		params[pi].Grad.CopyFrom(avg)
+	}
+}
+
+// scaleRank normalizes rank g's tower-module gradients and the sparse
+// gradients of its owned features to the global-batch mean — the
+// non-over-arch share of the gradient-exchange phase, common to the
+// blocking and overlapped schedules.
+func (tr *Trainer) scaleRank(g int, sparse map[int]*nn.SparseGrad, invG float32) {
+	for _, p := range tr.modules[g].Params() {
+		d := p.Grad.Data()
+		for i := range d {
+			d[i] *= invG
+		}
+	}
+	for _, f := range tr.engine.Cfg.OwnedFeatures(g) {
+		if sg := sparse[f]; sg != nil {
+			d := sg.Grads.Data()
+			for i := range d {
+				d[i] *= invG
 			}
 		}
-		for i, x := range avg.Data() {
-			avg.Data()[i] = x * invG
+	}
+}
+
+// updateRank runs rank g's update phase: dense optimizer over the over-arch
+// and its own tower module, plus owner-applied sparse updates on the
+// canonical tables (tables are disjoint across owners and the optimizer
+// state is primed). Common to the blocking and overlapped schedules.
+func (tr *Trainer) updateRank(g int, sparse map[int]*nn.SparseGrad) {
+	params := append(append([]*nn.Param(nil), tr.replicas[g].OverArchParams()...),
+		tr.modules[g].Params()...)
+	tr.denseOpts[g].Step(params)
+	for _, f := range tr.engine.Cfg.OwnedFeatures(g) {
+		if sg := sparse[f]; sg != nil && len(sg.Rows) > 0 {
+			tr.sparseOpt.Step(tr.engine.Tables[f], sg)
 		}
-		p.Grad.CopyFrom(avg)
 	}
 }
 
@@ -484,25 +585,44 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 	}
 	t5 := time.Now()
 
+	exposed, hidden := tr.commTimes(st)
 	tr.account(st, PhaseTimes{
 		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
 		Dense:        t2.Sub(t1),
 		GradExchange: t4.Sub(t3),
 		Update:       t5.Sub(t4),
+		ExposedComm:  exposed,
+		HiddenComm:   hidden,
 	})
 	return res
 }
 
+// commTimes returns the step's mean-per-rank exposed/hidden communication
+// times: the world group's delta since the previous step plus the SPTT
+// state's forward and backward contributions, divided by the rank count.
+func (tr *Trainer) commTimes(st *sptt.SPTTState) (exposed, hidden time.Duration) {
+	e, h := comm.GroupTimes(tr.world)
+	de, dh := e-tr.lastWorldExposed, h-tr.lastWorldHidden
+	tr.lastWorldExposed, tr.lastWorldHidden = e, h
+	g := time.Duration(tr.cfg.G)
+	return (de + st.ExposedComm + st.BwdExposedComm) / g,
+		(dh + st.HiddenComm + st.BwdHiddenComm) / g
+}
+
 // account folds one step's phase times and SPTT traffic into the cumulative
-// stats. The intra-tower gradient reduction rides SPTTBackward's host
-// groups, so its (analytically known, purely intra-host) volume is moved
-// from the embedding counters to the gradient counters.
+// stats. Every PhaseTimes field must be folded here — the package test
+// walks the struct by reflection and fails on a field account forgot. The
+// intra-tower gradient reduction rides SPTTBackward's host groups, so its
+// (analytically known, purely intra-host) volume is moved from the
+// embedding counters to the gradient counters.
 func (tr *Trainer) account(st *sptt.SPTTState, ph PhaseTimes) {
 	tr.stats.Steps++
 	tr.stats.Phases.EmbComm += ph.EmbComm
 	tr.stats.Phases.Dense += ph.Dense
 	tr.stats.Phases.GradExchange += ph.GradExchange
 	tr.stats.Phases.Update += ph.Update
+	tr.stats.Phases.ExposedComm += ph.ExposedComm
+	tr.stats.Phases.HiddenComm += ph.HiddenComm
 	for _, m := range [][][]int64{
 		st.GlobalTraffic, st.HostTraffic, st.PeerTraffic,
 		st.BwdGlobalTraffic, st.BwdHostTraffic, st.BwdPeerTraffic,

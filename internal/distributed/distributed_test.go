@@ -166,49 +166,158 @@ func TestDistributedLossDecreases(t *testing.T) {
 	}
 }
 
-// TestParallelMatchesSequentialBitwise is the refactor's regression proof:
-// the rank-parallel engine and the single-goroutine reference step must
-// produce bitwise-identical parameters, tables, and losses — not merely
-// close ones — because the comm runtime reduces in source-rank order.
-func TestParallelMatchesSequentialBitwise(t *testing.T) {
-	cfg, gen := testSetup(7)
+// runBitwiseEngines drives the sequential reference and a set of candidate
+// engine configs over the same step sequence, asserting bitwise-identical
+// losses, parameters, and tables throughout.
+func runBitwiseEngines(t *testing.T, cfg Config, gen *data.Generator, candidates map[string]Config, steps int) {
+	t.Helper()
 	seqCfg := cfg
 	seqCfg.Sequential = true
-	par, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	seqCfg.Overlap = false
 	seq, err := New(seqCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	const steps = 5
+	engines := map[string]*Trainer{}
+	for name, c := range candidates {
+		tr, err := New(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		engines[name] = tr
+	}
 	for step := 0; step < steps; step++ {
 		_, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
-		rp := par.Step(locals)
 		rs := seq.Step(locals)
-		if rp.MeanLoss != rs.MeanLoss {
-			t.Fatalf("step %d: parallel loss %v != sequential %v", step, rp.MeanLoss, rs.MeanLoss)
+		for name, tr := range engines {
+			rp := tr.Step(locals)
+			if rp.MeanLoss != rs.MeanLoss {
+				t.Fatalf("%s step %d: loss %v != sequential %v", name, step, rp.MeanLoss, rs.MeanLoss)
+			}
+			for g := 0; g < cfg.G; g++ {
+				if rp.PerRankLoss[g] != rs.PerRankLoss[g] {
+					t.Fatalf("%s step %d rank %d: loss %v != %v", name, step, g, rp.PerRankLoss[g], rs.PerRankLoss[g])
+				}
+			}
 		}
+	}
+	for name, tr := range engines {
 		for g := 0; g < cfg.G; g++ {
-			if rp.PerRankLoss[g] != rs.PerRankLoss[g] {
-				t.Fatalf("step %d rank %d: loss %v != %v", step, g, rp.PerRankLoss[g], rs.PerRankLoss[g])
+			pp := tr.Replica(g).DenseParams()
+			sp := seq.Replica(g).DenseParams()
+			for pi := range pp {
+				if !pp[pi].Value.Equal(sp[pi].Value) {
+					t.Fatalf("%s: rank %d param %s differs between engines", name, g, pp[pi].Name)
+				}
+			}
+		}
+		for f := range tr.Engine().Tables {
+			if !tr.Engine().Tables[f].Table.Equal(seq.Engine().Tables[f].Table) {
+				t.Fatalf("%s: table %d differs between engines", name, f)
 			}
 		}
 	}
-	for g := 0; g < cfg.G; g++ {
-		pp := par.Replica(g).DenseParams()
-		sp := seq.Replica(g).DenseParams()
-		for pi := range pp {
-			if !pp[pi].Value.Equal(sp[pi].Value) {
-				t.Fatalf("rank %d param %s differs between engines", g, pp[pi].Name)
-			}
+}
+
+// TestParallelMatchesSequentialBitwise is the refactor's regression proof:
+// the rank-parallel engine — blocking and overlapped — and the
+// single-goroutine reference step must produce bitwise-identical
+// parameters, tables, and losses — not merely close ones — because the
+// comm runtime reduces in source-rank order, bucketing never splits a
+// parameter, and the overlapped schedule changes only when collectives run,
+// not what they compute.
+func TestParallelMatchesSequentialBitwise(t *testing.T) {
+	cfg, gen := testSetup(7)
+	overlapCfg := cfg
+	overlapCfg.Overlap = true
+	// A tiny bucket cap forces one parameter per bucket, exercising the
+	// multi-bucket launch/wait ordering.
+	tinyBuckets := overlapCfg
+	tinyBuckets.BucketBytes = 1
+	runBitwiseEngines(t, cfg, gen, map[string]Config{
+		"rank-parallel":        cfg,
+		"overlapped":           overlapCfg,
+		"overlapped/1B-bucket": tinyBuckets,
+	}, 5)
+}
+
+// TestOverlapMatchesSequentialBitwiseG8 is the acceptance-scale variant of
+// the regression: at G=8 (4 hosts of 2) the overlapped schedule must still
+// track the sequential golden trajectory bit for bit.
+func TestOverlapMatchesSequentialBitwiseG8(t *testing.T) {
+	cfg, gen := testSetup(8)
+	cfg.G, cfg.L = 8, 2
+	cfg.Model.Towers = [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	overlapCfg := cfg
+	overlapCfg.Overlap = true
+	runBitwiseEngines(t, cfg, gen, map[string]Config{"overlapped": overlapCfg}, 3)
+}
+
+// TestOverlapStatsAndBuckets: the overlapped engine must actually overlap —
+// its cumulative HiddenComm must be positive (collectives spent time in
+// flight under compute) — and the bucket plan must cover every over-arch
+// parameter exactly once, in top-before-bottom launch order.
+func TestOverlapStatsAndBuckets(t *testing.T) {
+	cfg, gen := testSetup(15)
+	cfg.Overlap = true
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		_, locals := splitGlobalBatch(gen, step, cfg.G, cfg.LocalBatch)
+		tr.Step(locals)
+	}
+	st := tr.Stats()
+	if st.Phases.HiddenComm <= 0 {
+		t.Fatalf("overlapped engine hid no communication: %+v", st.Phases)
+	}
+	if st.Phases.ExposedComm < 0 {
+		t.Fatalf("negative exposed comm: %+v", st.Phases)
+	}
+
+	nAll := len(tr.Replica(0).OverArchParams())
+	nBottom := len(tr.Replica(0).BottomParams())
+	seen := map[int]int{}
+	var order []int
+	for _, b := range tr.Buckets() {
+		for _, pi := range b {
+			seen[pi]++
+			order = append(order, pi)
 		}
 	}
-	for f := range par.Engine().Tables {
-		if !par.Engine().Tables[f].Table.Equal(seq.Engine().Tables[f].Table) {
-			t.Fatalf("table %d differs between engines", f)
+	if len(seen) != nAll {
+		t.Fatalf("buckets cover %d of %d params", len(seen), nAll)
+	}
+	for pi, n := range seen {
+		if n != 1 {
+			t.Fatalf("param %d appears in %d buckets", pi, n)
 		}
+	}
+	// Launch order: every top param (index >= nBottom) precedes every
+	// bottom param.
+	firstBottom := len(order)
+	for i, pi := range order {
+		if pi < nBottom {
+			firstBottom = i
+			break
+		}
+	}
+	for _, pi := range order[firstBottom:] {
+		if pi >= nBottom {
+			t.Fatalf("top param %d launched after a bottom param: order %v", pi, order)
+		}
+	}
+}
+
+// TestNewRejectsOverlapSequential: the two engine selectors are mutually
+// exclusive.
+func TestNewRejectsOverlapSequential(t *testing.T) {
+	cfg, _ := testSetup(16)
+	cfg.Sequential = true
+	cfg.Overlap = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Overlap+Sequential must error")
 	}
 }
 

@@ -1,0 +1,178 @@
+package distributed
+
+import (
+	"time"
+
+	"dmt/internal/comm"
+	"dmt/internal/data"
+	"dmt/internal/models"
+	"dmt/internal/sptt"
+	"dmt/internal/tensor"
+)
+
+// The overlapped schedule (Config.Overlap): the same mathematics as
+// stepParallel, re-ordered so that communication flies while compute runs.
+//
+//   - The SPTT forward's step (f) peer AlltoAll — the cross-host hop — is
+//     posted before each rank's bottom-MLP forward and waited after it
+//     (sptt.Options.Overlap), so EmbComm hides behind Dense.
+//   - The over-arch gradient reduction is sliced into readiness-ordered
+//     buckets of whole parameters: top-MLP buckets launch the moment
+//     BackwardTop finishes (while the bottom-MLP backward still runs), the
+//     rest right after BackwardBottom, and all of them complete only after
+//     the SPTT backward — GradExchange hides behind the remaining dense
+//     backward and the embedding backward.
+//
+// Bitwise identity with the sequential golden trajectory holds because none
+// of this changes any arithmetic: each parameter is still reduced by one
+// collective whose sum accumulates in source-rank order, buckets never
+// split a parameter (so compressed runs quantize exactly the tensors the
+// golden path quantizes), and launch/wait order is identical on every rank.
+
+// defaultBucketBytes is the per-bucket gradient payload cap when
+// Config.BucketBytes is zero.
+const defaultBucketBytes = 64 << 10
+
+// gradBucket is one launch unit of the overlapped over-arch reduction: a
+// run of whole parameters (indices into OverArchParams) that become ready
+// at the same backward stage.
+type gradBucket struct {
+	params []int
+	// afterBottom marks buckets whose gradients are final only once
+	// BackwardBottom has run; the rest launch right after BackwardTop.
+	afterBottom bool
+}
+
+// planBuckets groups the over-arch parameters into buckets in launch order:
+// top-MLP parameters first (ready after BackwardTop), bottom-MLP parameters
+// second (ready after BackwardBottom), each group greedily packed up to
+// bucketBytes. The plan depends only on the model architecture, so every
+// rank computes the identical schedule.
+func planBuckets(m *models.DMTDLRM, bucketBytes int) []gradBucket {
+	if bucketBytes <= 0 {
+		bucketBytes = defaultBucketBytes
+	}
+	all := m.OverArchParams()
+	nBottom := len(m.BottomParams())
+	var out []gradBucket
+	pack := func(lo, hi int, afterBottom bool) {
+		cur := gradBucket{afterBottom: afterBottom}
+		bytes := 0
+		for pi := lo; pi < hi; pi++ {
+			sz := 4 * all[pi].Value.Len()
+			if len(cur.params) > 0 && bytes+sz > bucketBytes {
+				out = append(out, cur)
+				cur = gradBucket{afterBottom: afterBottom}
+				bytes = 0
+			}
+			cur.params = append(cur.params, pi)
+			bytes += sz
+		}
+		if len(cur.params) > 0 {
+			out = append(out, cur)
+		}
+	}
+	pack(nBottom, len(all), false)
+	pack(0, nBottom, true)
+	return out
+}
+
+// Buckets exposes the overlapped schedule's launch plan as parameter-index
+// groups in launch order — test and diagnostics hook.
+func (tr *Trainer) Buckets() [][]int {
+	out := make([][]int, len(tr.buckets))
+	for i, b := range tr.buckets {
+		out[i] = append([]int(nil), b.params...)
+	}
+	return out
+}
+
+// stepOverlapped is the overlapped engine. Phase walls still bound the
+// step, but compute and communication deliberately cross them — the
+// sharper lens on this schedule is PhaseTimes.ExposedComm/HiddenComm.
+func (tr *Trainer) stepOverlapped(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
+	cfg := tr.cfg
+	t0 := time.Now()
+
+	// SPTT forward; each rank's bottom-MLP forward runs inside the Overlap
+	// hook, while its step (f) peer AlltoAll is in flight.
+	denseEmb := make([]*tensor.Tensor, cfg.G)
+	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{
+		CrossHost: cfg.Compression.Embedding,
+		Overlap: func(g int) {
+			for _, p := range tr.replicas[g].DenseParams() {
+				p.ZeroGrad()
+			}
+			denseEmb[g] = tr.replicas[g].ForwardBottom(batches[g].Dense)
+		},
+	})
+	t1 := time.Now()
+
+	// Dense phase: finish the forward from the precomputed bottom-MLP
+	// activation, then the staged backward with bucket launches as each
+	// portion's gradients become final. Nothing is waited here — posts are
+	// non-blocking, so the collectives ride out the rest of the step.
+	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
+	dCompressed := make([]*tensor.Tensor, cfg.G)
+	inflight := make([][]pendingBucket, cfg.G)
+	comm.Run(tr.world, func(c *comm.Comm) {
+		g := c.Rank()
+		m := tr.replicas[g]
+		params := m.OverArchParams()
+		logits := m.ForwardDenseFrom(denseEmb[g], compressed[g])
+		res.PerRankLoss[g] = tr.loss[g].Forward(logits, batches[g].Labels)
+		dC, dDenseEmb := m.BackwardTop(tr.loss[g].Backward())
+		dCompressed[g] = dC
+		launch := func(afterBottom bool) {
+			for _, b := range tr.buckets {
+				if b.afterBottom == afterBottom {
+					inflight[g] = append(inflight[g], tr.launchBucket(c, g, params, b))
+				}
+			}
+		}
+		launch(false) // top-MLP buckets fly while the bottom backward runs
+		m.BackwardBottom(dDenseEmb)
+		launch(true)
+	})
+	// Summed in rank order after the join so the mean is deterministic.
+	for g := 0; g < cfg.G; g++ {
+		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
+	}
+	t2 := time.Now()
+
+	// SPTT backward runs while the over-arch buckets are still in flight on
+	// the world group, so the gradient exchange also hides behind the
+	// embedding backward and the intra-tower reduction.
+	sparse := tr.engine.SPTTBackward(st, dCompressed)
+	t3 := time.Now()
+
+	// Complete the buckets (in launch order — the wire format) and perform
+	// the same gradient normalization as the blocking engines.
+	invG := 1 / float32(cfg.G)
+	comm.Run(tr.world, func(c *comm.Comm) {
+		g := c.Rank()
+		params := tr.replicas[g].OverArchParams()
+		for _, pb := range inflight[g] {
+			tr.finishBucket(g, params, pb, invG)
+		}
+		tr.scaleRank(g, sparse, invG)
+	})
+	t4 := time.Now()
+
+	// Updates: identical to stepParallel.
+	comm.Run(tr.world, func(c *comm.Comm) {
+		tr.updateRank(c.Rank(), sparse)
+	})
+	t5 := time.Now()
+
+	exposed, hidden := tr.commTimes(st)
+	tr.account(st, PhaseTimes{
+		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
+		Dense:        t2.Sub(t1),
+		GradExchange: t4.Sub(t3),
+		Update:       t5.Sub(t4),
+		ExposedComm:  exposed,
+		HiddenComm:   hidden,
+	})
+	return res
+}

@@ -1,0 +1,43 @@
+package distributed
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dmt/internal/sptt"
+)
+
+// TestAccountFoldsEveryPhaseField walks PhaseTimes by reflection, charges a
+// distinct duration to every field, and asserts account folded each one
+// into the cumulative stats. A newly added PhaseTimes field that account
+// forgets to fold shows up here as a zero — the satellite regression the
+// exposed/hidden split was added under.
+func TestAccountFoldsEveryPhaseField(t *testing.T) {
+	tr := &Trainer{cfg: Config{G: 2, L: 2}}
+	var ph PhaseTimes
+	pv := reflect.ValueOf(&ph).Elem()
+	durType := reflect.TypeOf(time.Duration(0))
+	for i := 0; i < pv.NumField(); i++ {
+		f := pv.Type().Field(i)
+		if f.Type != durType {
+			t.Fatalf("PhaseTimes.%s is %v; this test only knows how to charge time.Duration fields", f.Name, f.Type)
+		}
+		pv.Field(i).Set(reflect.ValueOf(time.Duration(i + 1)))
+	}
+
+	tr.account(&sptt.SPTTState{}, ph)
+	tr.account(&sptt.SPTTState{}, ph)
+
+	got := reflect.ValueOf(tr.stats.Phases)
+	for i := 0; i < got.NumField(); i++ {
+		want := 2 * time.Duration(i+1)
+		if d := got.Field(i).Interface().(time.Duration); d != want {
+			t.Errorf("account does not fold PhaseTimes.%s: cumulative %v after two steps, want %v",
+				got.Type().Field(i).Name, d, want)
+		}
+	}
+	if tr.stats.Steps != 2 {
+		t.Fatalf("account counted %d steps, want 2", tr.stats.Steps)
+	}
+}

@@ -311,6 +311,37 @@ func TestTrainingThroughputReport(t *testing.T) {
 	}
 }
 
+// TestTrainingThroughputOverlapRow: with Overlap set the report grows a
+// third row for the overlapped schedule — same bitwise trajectory, positive
+// hidden-comm time (the schedule actually overlapped something), and the
+// exposed/hidden split rendered in the train table.
+func TestTrainingThroughputOverlapRow(t *testing.T) {
+	p := SmokeTraining()
+	p.Overlap = true
+	r := TrainingThroughput(p)
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(r.Rows))
+	}
+	if r.Rows[2].Mode != "overlapped" {
+		t.Fatalf("unexpected modes: %+v", r.Rows)
+	}
+	if r.Rows[2].FinalLoss != r.Rows[0].FinalLoss {
+		t.Fatalf("overlapped engine diverged: %v vs %v", r.Rows[2].FinalLoss, r.Rows[0].FinalLoss)
+	}
+	if r.Rows[2].Stats.Phases.HiddenComm <= 0 {
+		t.Fatalf("overlapped row hid no communication: %+v", r.Rows[2].Stats.Phases)
+	}
+	if r.OverlapSpeedup <= 0 {
+		t.Fatalf("overlap speedup %v", r.OverlapSpeedup)
+	}
+	out := FormatTraining(r)
+	for _, want := range []string{"overlapped", "exposed", "hidden"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("train table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestTrainingCompressionSweep: the per-scheme sweep must prepend the fp32
 // baseline, charge at least 40% fewer cross-host gradient bytes under fp16
 // (the dmt-bench acceptance bar), and keep the error-feedback loss drift

@@ -249,8 +249,9 @@ func FormatTraining(r TrainingReport) string {
 		fmt.Fprintf(&b, "wire compression: %s (gradient AllReduce with error feedback; cross-host embedding hops)\n",
 			p.Compress)
 	}
-	fmt.Fprintf(&b, "%-14s %9s %9s | %9s %9s %9s %9s | %10s %10s %10s %10s\n",
+	fmt.Fprintf(&b, "%-14s %9s %9s | %9s %9s %9s %9s | %9s %9s | %10s %10s %10s %10s\n",
 		"Engine", "steps/s", "loss", "emb-comm", "dense", "grad-ex", "update",
+		"exposed", "hidden",
 		"gradIntra", "gradCross", "embIntra", "embCross")
 	for _, row := range r.Rows {
 		st := row.Stats
@@ -260,14 +261,19 @@ func FormatTraining(r TrainingReport) string {
 			}
 			return (d / time.Duration(st.Steps)).Round(time.Microsecond)
 		}
-		fmt.Fprintf(&b, "%-14s %9.1f %9.4f | %9s %9s %9s %9s | %8.2fMB %8.2fMB %8.2fMB %8.2fMB\n",
+		fmt.Fprintf(&b, "%-14s %9.1f %9.4f | %9s %9s %9s %9s | %9s %9s | %8.2fMB %8.2fMB %8.2fMB %8.2fMB\n",
 			row.Mode, row.StepsPerSec, row.FinalLoss,
 			perStep(st.Phases.EmbComm), perStep(st.Phases.Dense),
 			perStep(st.Phases.GradExchange), perStep(st.Phases.Update),
+			perStep(st.Phases.ExposedComm), perStep(st.Phases.HiddenComm),
 			mb(st.GradIntraHostBytes), mb(st.GradCrossHostBytes),
 			mb(st.EmbIntraHostBytes), mb(st.EmbCrossHostBytes))
 	}
 	fmt.Fprintf(&b, "rank-parallel speedup: %.2fx (phase times are per step; byte volumes cumulative)\n", r.Speedup)
+	if r.OverlapSpeedup > 0 {
+		fmt.Fprintf(&b, "overlapped vs rank-parallel: %.2fx — exposed is mean-per-rank time blocked in\n", r.OverlapSpeedup)
+		fmt.Fprintf(&b, "collective receives; hidden is in-flight collective time covered by compute\n")
+	}
 	return b.String()
 }
 

@@ -30,6 +30,11 @@ type TrainingProfile struct {
 	// Compress selects the wire scheme for gradient (with error feedback)
 	// and cross-host embedding traffic; None trains uncompressed.
 	Compress quant.Scheme
+	// Overlap adds a third measured engine: the overlapped rank-parallel
+	// schedule (distributed.Config.Overlap), which hides the SPTT peer
+	// AlltoAll behind the bottom-MLP forward and the bucketed gradient
+	// AllReduce behind the dense and embedding backward.
+	Overlap bool
 }
 
 // SmokeTraining keeps the test suite fast.
@@ -51,18 +56,21 @@ func DefaultTraining() TrainingProfile {
 
 // TrainingRow is one engine's measurement.
 type TrainingRow struct {
-	Mode        string // "sequential" or "rank-parallel"
+	Mode        string // "sequential", "rank-parallel", or "overlapped"
 	StepsPerSec float64
 	FinalLoss   float64
 	Stats       distributed.Stats
 }
 
-// TrainingReport compares the two engines.
+// TrainingReport compares the engines.
 type TrainingReport struct {
 	Profile TrainingProfile
 	Rows    []TrainingRow
 	// Speedup is rank-parallel steps/s over sequential steps/s.
 	Speedup float64
+	// OverlapSpeedup is overlapped steps/s over blocking rank-parallel
+	// steps/s; zero when the overlapped engine was not measured.
+	OverlapSpeedup float64
 }
 
 // NewTrainer builds a distributed trainer for a profile — shared by the
@@ -90,6 +98,7 @@ func NewTrainer(p TrainingProfile, sequential bool) (*distributed.Trainer, *data
 		},
 		DenseLR: 1e-3, SparseLR: 1e-2, Seed: 7,
 		Sequential: sequential,
+		Overlap:    p.Overlap && !sequential,
 		Compression: distributed.Compression{
 			Gradient:  p.Compress,
 			Embedding: p.Compress,
@@ -108,34 +117,49 @@ func TrainingBatches(gen *data.Generator, p TrainingProfile, step int) []*data.B
 	return batches
 }
 
-// TrainingThroughput runs both engines over the same step sequence.
+// TrainingThroughput runs the engines over the same step sequence:
+// sequential and rank-parallel always, plus the overlapped schedule when
+// the profile asks for it. All rows follow bitwise-identical trajectories,
+// so the comparison is pure execution speed — and, for the overlapped row,
+// how much communication moved from the exposed to the hidden column.
 func TrainingThroughput(p TrainingProfile) TrainingReport {
 	rep := TrainingReport{Profile: p}
-	for _, mode := range []struct {
+	type engineMode struct {
 		name       string
 		sequential bool
-	}{
-		{"sequential", true},
-		{"rank-parallel", false},
-	} {
-		tr, gen, err := NewTrainer(p, mode.sequential)
+		overlap    bool
+	}
+	modes := []engineMode{
+		{"sequential", true, false},
+		{"rank-parallel", false, false},
+	}
+	if p.Overlap {
+		modes = append(modes, engineMode{"overlapped", false, true})
+	}
+	for _, mode := range modes {
+		sp := p
+		sp.Overlap = mode.overlap
+		tr, gen, err := NewTrainer(sp, mode.sequential)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: training setup: %v", err))
 		}
 		var last float64
 		start := time.Now()
-		for step := 0; step < p.Steps; step++ {
-			last = tr.Step(TrainingBatches(gen, p, step)).MeanLoss
+		for step := 0; step < sp.Steps; step++ {
+			last = tr.Step(TrainingBatches(gen, sp, step)).MeanLoss
 		}
 		elapsed := time.Since(start)
 		rep.Rows = append(rep.Rows, TrainingRow{
 			Mode:        mode.name,
-			StepsPerSec: float64(p.Steps) / elapsed.Seconds(),
+			StepsPerSec: float64(sp.Steps) / elapsed.Seconds(),
 			FinalLoss:   last,
 			Stats:       tr.Stats(),
 		})
 	}
 	rep.Speedup = rep.Rows[1].StepsPerSec / rep.Rows[0].StepsPerSec
+	if len(rep.Rows) > 2 {
+		rep.OverlapSpeedup = rep.Rows[2].StepsPerSec / rep.Rows[1].StepsPerSec
+	}
 	return rep
 }
 

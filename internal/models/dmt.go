@@ -203,10 +203,24 @@ func (m *DMTDLRM) Backward(dLogits *tensor.Tensor) {
 // logits. Together with BackwardDense this is the per-rank replica's share
 // of a distributed DMT training step (package distributed).
 func (m *DMTDLRM) ForwardDense(dense, compressed *tensor.Tensor) *tensor.Tensor {
-	b := dense.Dim(0)
+	return m.ForwardDenseFrom(m.ForwardBottom(dense), compressed)
+}
+
+// ForwardBottom runs only the bottom MLP: (B, NumDense) -> (B, D). It has
+// no dependency on the embedding dataflow, which is what lets the
+// overlapped distributed schedule run it while the SPTT peer AlltoAll is
+// still in flight.
+func (m *DMTDLRM) ForwardBottom(dense *tensor.Tensor) *tensor.Tensor {
+	return m.Bottom.Forward(dense)
+}
+
+// ForwardDenseFrom is ForwardDense with the bottom-MLP activation already
+// computed (by ForwardBottom): interaction over the dense embedding and the
+// compressed tower outputs, then the top MLP.
+func (m *DMTDLRM) ForwardDenseFrom(denseEmb, compressed *tensor.Tensor) *tensor.Tensor {
+	b := denseEmb.Dim(0)
 	m.lastBatch = b
 	d := m.cfg.D
-	denseEmb := m.Bottom.Forward(dense)
 	flat := tensor.Concat(1, denseEmb, compressed)
 	x := flat.Reshape(b, flat.Dim(1)/d, d)
 	z := m.Interaction.Forward(x)
@@ -219,6 +233,17 @@ func (m *DMTDLRM) ForwardDense(dense, compressed *tensor.Tensor) *tensor.Tensor 
 // which the distributed trainer feeds back through SPTT (where the tower
 // modules and embedding tables receive their gradients).
 func (m *DMTDLRM) BackwardDense(dLogits *tensor.Tensor) *tensor.Tensor {
+	dCompressed, dDenseEmb := m.BackwardTop(dLogits)
+	m.BackwardBottom(dDenseEmb)
+	return dCompressed
+}
+
+// BackwardTop runs the upper share of the dense backward — top MLP and
+// interaction. After it returns, every TopParams gradient is final (the
+// overlapped schedule launches their AllReduce buckets here) while
+// BottomParams gradients are still pending BackwardBottom. It returns the
+// gradient of the compressed tower outputs and of the bottom-MLP output.
+func (m *DMTDLRM) BackwardTop(dLogits *tensor.Tensor) (dCompressed, dDenseEmb *tensor.Tensor) {
 	b := m.lastBatch
 	d := m.cfg.D
 	dTop := m.Top.Backward(dLogits.Reshape(b, 1))
@@ -227,14 +252,29 @@ func (m *DMTDLRM) BackwardDense(dLogits *tensor.Tensor) *tensor.Tensor {
 	dX := m.Interaction.Backward(dZ)
 	dFlat := dX.Reshape(b, dX.Dim(1)*d)
 	blocks := tensor.SplitCols(dFlat, []int{d, dFlat.Dim(1) - d})
-	m.Bottom.Backward(tensor.Add(blocks[0], dDenseDirect))
-	return blocks[1]
+	return blocks[1], tensor.Add(blocks[0], dDenseDirect)
+}
+
+// BackwardBottom finishes the dense backward through the bottom MLP,
+// finalizing the BottomParams gradients.
+func (m *DMTDLRM) BackwardBottom(dDenseEmb *tensor.Tensor) {
+	m.Bottom.Backward(dDenseEmb)
 }
 
 // OverArchParams returns the parameters of the over-arch only (bottom and
 // top MLPs, not the tower modules): the set a data-parallel replica
 // synchronizes globally, while tower modules synchronize intra-host (§3.2).
+// The order is BottomParams followed by TopParams; the distributed
+// trainer's error-feedback residuals and gradient buckets index into it.
 func (m *DMTDLRM) OverArchParams() []*nn.Param { return nn.CollectParams(m.Bottom, m.Top) }
+
+// BottomParams returns the bottom MLP's parameters — the over-arch share
+// whose gradients become final only after BackwardBottom.
+func (m *DMTDLRM) BottomParams() []*nn.Param { return nn.CollectParams(m.Bottom) }
+
+// TopParams returns the top MLP's parameters — the over-arch share whose
+// gradients are final as soon as BackwardTop returns.
+func (m *DMTDLRM) TopParams() []*nn.Param { return nn.CollectParams(m.Top) }
 
 // DenseParams returns MLP and tower-module parameters.
 func (m *DMTDLRM) DenseParams() []*nn.Param {

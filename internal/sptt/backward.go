@@ -26,7 +26,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 	grads := make([]map[int]*nn.SparseGrad, cfg.G)
 
-	comm.Run(gs.global, func(c *comm.Comm) {
+	gs.run(func(c *comm.Comm) {
 		rank := c.Rank()
 		_, hostC, peerC := gs.forRank(rank)
 		h := rank / L
@@ -136,6 +136,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 		grads[rank] = out
 	})
 	st.BwdGlobalTraffic, st.BwdHostTraffic, st.BwdPeerTraffic = gs.fold()
+	st.BwdExposedComm, st.BwdHiddenComm = gs.times()
 
 	merged := make(map[int]*nn.SparseGrad)
 	for _, m := range grads {

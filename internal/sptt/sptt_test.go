@@ -456,3 +456,31 @@ func TestDistributedSparseSGDStep(t *testing.T) {
 		}
 	}
 }
+
+// TestOverlapHookBitwiseNeutral: the Options.Overlap hook is a pure
+// scheduling device — it must run exactly once per rank while the step (f)
+// exchange is in flight, and the dataflow's outputs must be bit-identical
+// with and without it.
+func TestOverlapHookBitwiseNeutral(t *testing.T) {
+	cfg := makeConfig(8, 2, 4, 8, 16, 50, 1, nn.PoolSum)
+	inputs := makeInputs(cfg, 3)
+	eng, err := NewEngine(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := eng.SPTTForward(inputs, Options{})
+
+	calls := make([]int, cfg.G)
+	hooked, st := eng.SPTTForward(inputs, Options{Overlap: func(rank int) { calls[rank]++ }})
+	for g := 0; g < cfg.G; g++ {
+		if calls[g] != 1 {
+			t.Fatalf("rank %d: overlap hook ran %d times, want 1", g, calls[g])
+		}
+		if !plain[g].Equal(hooked[g]) {
+			t.Fatalf("rank %d: overlap hook changed the output", g)
+		}
+	}
+	if st.HiddenComm <= 0 {
+		t.Fatalf("hooked run reported no hidden comm window: %v", st.HiddenComm)
+	}
+}

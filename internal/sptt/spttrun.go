@@ -2,6 +2,7 @@ package sptt
 
 import (
 	"fmt"
+	"time"
 
 	"dmt/internal/comm"
 	"dmt/internal/nn"
@@ -50,6 +51,34 @@ func newGroupSet(g, l int) *groupSet {
 // forRank returns the three communicators of a global rank.
 func (gs *groupSet) forRank(rank int) (global, host, peer *comm.Comm) {
 	return gs.global[rank], gs.host[rank/gs.l][rank%gs.l], gs.peer[rank%gs.l][rank/gs.l]
+}
+
+// run executes fn once per rank on the global group with the host and peer
+// families linked for cancellation: a panicking rank cancels all three
+// group families, so no peer deadlocks on a sub-group receive.
+func (gs *groupSet) run(fn func(c *comm.Comm)) {
+	linked := make([][]*comm.Comm, 0, len(gs.host)+len(gs.peer))
+	linked = append(linked, gs.host...)
+	linked = append(linked, gs.peer...)
+	comm.RunLinked(gs.global, linked, fn)
+}
+
+// times sums the exposed/hidden collective timing over every rank of every
+// group family. Valid after the dataflow's rank goroutines have joined.
+func (gs *groupSet) times() (exposed, hidden time.Duration) {
+	e, h := comm.GroupTimes(gs.global)
+	exposed, hidden = e, h
+	for _, grp := range gs.host {
+		e, h = comm.GroupTimes(grp)
+		exposed += e
+		hidden += h
+	}
+	for _, grp := range gs.peer {
+		e, h = comm.GroupTimes(grp)
+		exposed += e
+		hidden += h
+	}
+	return exposed, hidden
 }
 
 // globalTraffic folds a sub-group's traffic matrix into a G×G global one.
@@ -110,6 +139,15 @@ type SPTTState struct {
 	BwdGlobalTraffic [][]int64
 	BwdHostTraffic   [][]int64
 	BwdPeerTraffic   [][]int64
+
+	// Collective timing, summed over all ranks and group families: exposed
+	// is time ranks spent blocked in receives, hidden is the in-flight
+	// window of non-blocking collectives covered by compute (the Overlap
+	// hook). The Bwd pair is filled in by SPTTBackward.
+	ExposedComm    time.Duration
+	HiddenComm     time.Duration
+	BwdExposedComm time.Duration
+	BwdHiddenComm  time.Duration
 }
 
 // Options tweaks the transform's specializations (§3.1.3).
@@ -130,6 +168,14 @@ type Options struct {
 	// system) stays fp32: the topology-aware compression policy. quant.None
 	// keeps the dataflow bitwise identical to the uncompressed transform.
 	CrossHost quant.Scheme
+	// Overlap, when non-nil, is invoked once per rank between posting the
+	// step (f) peer AlltoAll — the cross-host hop — and waiting on its
+	// results, so rank-local dense compute (the distributed trainer's
+	// bottom-MLP forward) hides the exchange. The hook runs on the rank's
+	// dataflow goroutine; it must touch only rank-private state and must
+	// not perform collectives on the dataflow's groups. Purely a
+	// scheduling change: outputs are bitwise identical with or without it.
+	Overlap func(rank int)
 }
 
 // SPTTForward runs the pass-through transform (steps a–f, no tower module):
@@ -170,7 +216,7 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 		crossHost: opt.CrossHost,
 	}
 
-	comm.Run(gs.global, func(c *comm.Comm) {
+	gs.run(func(c *comm.Comm) {
 		rank := c.Rank()
 		_, hostC, peerC := gs.forRank(rank)
 		h := rank / L
@@ -246,14 +292,20 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 
 		if modules == nil {
 			// Step (f): peer AlltoAll of the raw tower block — the cross-host
-			// hop, quantized under the topology-aware policy.
+			// hop, quantized under the topology-aware policy. Sends are
+			// posted first so the Overlap hook's compute runs while peers'
+			// payloads are in flight.
 			pchunks := make([]*tensor.Tensor, T)
 			for t := 0; t < T; t++ {
 				blk := tensor.New(ft, B, N)
 				copy(blk.Data(), shuffled.Data()[t*ft*B*N:(t+1)*ft*B*N])
 				pchunks[t] = blk
 			}
-			pg := peerC.AlltoAllTensorsQ(opt.CrossHost, pchunks)
+			pending := peerC.IAlltoAllTensorsQ(opt.CrossHost, pchunks)
+			if opt.Overlap != nil {
+				opt.Overlap(rank)
+			}
+			pg := pending.Wait()
 
 			out := tensor.New(B, cfg.F(), N)
 			for t := 0; t < T; t++ {
@@ -289,13 +341,19 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 
 		// Step (f) on compressed payloads: slice per peer block. The wire
 		// scheme stacks on top of the tower module's dimensional compression.
+		// Posting before the Overlap hook lets the caller hide the
+		// cross-host exchange behind rank-local dense compute.
 		pchunks := make([]*tensor.Tensor, T)
 		for t := 0; t < T; t++ {
 			blk := tensor.New(B, oT)
 			copy(blk.Data(), compressed.Data()[t*B*oT:(t+1)*B*oT])
 			pchunks[t] = blk
 		}
-		pg := peerC.AlltoAllTensorsQ(opt.CrossHost, pchunks)
+		pending := peerC.IAlltoAllTensorsQ(opt.CrossHost, pchunks)
+		if opt.Overlap != nil {
+			opt.Overlap(rank)
+		}
+		pg := pending.Wait()
 
 		// Output: concat tower outputs in tower order: (B, Σ O_t).
 		parts := make([]*tensor.Tensor, T)
@@ -306,5 +364,6 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 	})
 
 	st.GlobalTraffic, st.HostTraffic, st.PeerTraffic = gs.fold()
+	st.ExposedComm, st.HiddenComm = gs.times()
 	return outs, st, gs
 }
