@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check fuzz-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -42,21 +42,35 @@ bench-train:
 # overlapped rows should report lower exposed-ms/step; the fp16 pair at
 # G=8 is the acceptance comparison.
 bench-overlap:
-	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep/(rank-parallel|overlap)' -benchtime 5x -timeout 20m .
+	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep$$/^(rank-parallel|overlap)$$' -benchtime 5x -timeout 20m .
 
 # CI gate behind the overlap claim: run the blocking and overlapped fp16
 # step at G=8 and FAIL unless the overlapped row reports strictly lower
 # exposed-ms/step — an overlap regression breaks the build, it doesn't
 # just print.
 bench-overlap-check:
-	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep/(rank-parallel|overlap)/fp16/G=8$$' -benchtime 3x -timeout 10m . > bench-overlap.out
+	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep$$/^(rank-parallel|overlap)$$/^fp16$$/^G=8$$' -benchtime 3x -timeout 10m . > bench-overlap.out
 	@cat bench-overlap.out
-	@awk '/rank-parallel\/fp16/ { for (i = 2; i <= NF; i++) if ($$i == "exposed-ms/step") base = $$(i-1) } \
-	     /overlap\/fp16/ { for (i = 2; i <= NF; i++) if ($$i == "exposed-ms/step") ov = $$(i-1) } \
+	@awk '/Step\/rank-parallel\/fp16/ { for (i = 2; i <= NF; i++) if ($$i == "exposed-ms/step") base = $$(i-1) } \
+	     /Step\/overlap\/fp16/ { for (i = 2; i <= NF; i++) if ($$i == "exposed-ms/step") ov = $$(i-1) } \
 	     END { if (base == "" || ov == "") { print "bench-overlap-check: exposed-ms/step metrics not found"; exit 1 } \
 	           printf "exposed-ms/step: blocking %s vs overlapped %s\n", base, ov; \
 	           if (ov + 0 >= base + 0) { print "bench-overlap-check: FAIL - overlap did not reduce exposed comm"; exit 1 } }' bench-overlap.out
 	@rm -f bench-overlap.out
+
+# Simulated-latency step variants: the same engines with the comm runtime
+# driven by the netsim cost model; exposed/hidden metrics are modeled
+# virtual-clock milliseconds (deterministic, wire-byte-driven).
+bench-latency:
+	$(GO) test -run '^$$' -bench '^BenchmarkDistributedStep/latency' -benchtime 3x -timeout 20m .
+
+# CI gate behind the latency model — the measured Figure 13 acceptance
+# assertions, run as a test: (a) the overlapped schedule models strictly
+# less exposed comm than blocking, (b) the fp16 wire models strictly less
+# exposed time than fp32 (wire bytes drive the delays), and the table is
+# bit-for-bit deterministic.
+bench-latency-check:
+	$(GO) test -run '^TestFigure13Measured$$' -v ./internal/experiments
 
 # Short native-fuzz runs over the wire codec (go test allows one -fuzz
 # target per invocation, hence the two runs).

@@ -10,7 +10,14 @@
 //	dmt-bench -exp fig10               # one experiment
 //	dmt-bench -exp train -compress fp16  # measured training over a quantized wire
 //	dmt-bench -exp train -overlap      # add the overlapped engine row
+//	dmt-bench -exp fig13 -gen h100     # measured component latencies on a simulated fabric
 //	dmt-bench -list                    # list experiment names
+//
+// -gen picks the hardware generation (v100, a100, h100) for the experiments
+// that simulate a fabric: `fig13` runs the training engines with the comm
+// runtime in netsim-driven latency mode and prints the measured,
+// deterministic component-latency table (fig13model remains the closed-form
+// reproduction of the paper's figure).
 //
 // -compress selects the wire scheme (fp32, fp16, int8, int4) for the
 // experiments that model or measure compressed communication: `train` runs
@@ -48,6 +55,10 @@ var compress quant.Scheme
 // overlap adds the overlapped-engine row to the train experiment.
 var overlap bool
 
+// gen is the hardware generation selected by -gen for the experiments that
+// simulate a fabric (fig13).
+var gen topology.Generation
+
 var runners = map[string]func() string{
 	"table1": func() string { return experiments.FormatTable1(experiments.Table1()) },
 	"fig1":   func() string { return experiments.FormatFigure1(experiments.Figure1()) },
@@ -60,7 +71,10 @@ var runners = map[string]func() string{
 		return experiments.FormatSpeedups("Figure 11: Speedup of Tower Modules over SPTT (DLRM)", experiments.Figure11())
 	},
 	"fig12": func() string { return experiments.FormatFigure12(experiments.Figure12()) },
-	"fig13": func() string { return experiments.FormatFigure13(experiments.Figure13()) },
+	"fig13": func() string { return experiments.FormatFigure13(experiments.Figure13(gen)) },
+	"fig13model": func() string {
+		return experiments.FormatFigure13Model(experiments.Figure13Model())
+	},
 	"quant": func() string { return experiments.FormatQuantXLRM(experiments.QuantXLRM()) },
 	"khost": func() string { return experiments.FormatTowerHostsAblation(experiments.TowerHostsAblation()) },
 	"train": func() string {
@@ -83,17 +97,22 @@ var runners = map[string]func() string{
 }
 
 // order fixes the presentation sequence for the "run everything" mode.
-var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "quant", "khost", "train", "timeline"}
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13model", "fig13", "quant", "khost", "train", "timeline"}
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	scheme := flag.String("compress", "fp32", "wire scheme for train/fig6 (fp32, fp16, int8, int4)")
+	genName := flag.String("gen", "a100", "hardware generation for the simulated fabric (v100, a100, h100)")
 	flag.BoolVar(&overlap, "overlap", false, "measure the overlapped engine in the train experiment")
 	flag.Parse()
 
 	var err error
 	if compress, err = quant.ParseScheme(*scheme); err != nil {
+		fmt.Fprintf(os.Stderr, "dmt-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if gen, err = topology.ByName(strings.ToUpper(*genName)); err != nil {
 		fmt.Fprintf(os.Stderr, "dmt-bench: %v\n", err)
 		os.Exit(2)
 	}

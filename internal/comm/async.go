@@ -29,23 +29,37 @@ import (
 type Pending[T any] struct {
 	c      *Comm
 	ticket uint64
-	issued time.Time
-	fn     func() T
-	done   bool
-	v      T
+	// issued is the wall-clock issue instant (instant-delivery groups);
+	// issuedVT the virtual one (simulated-latency groups). Only the form
+	// matching the group's mode is populated — latency mode never reads the
+	// wall clock, which is what keeps its timeline reproducible.
+	issued   time.Time
+	issuedVT int64
+	fn       func() T
+	done     bool
+	v        T
 }
 
 func newPending[T any](c *Comm, fn func() T) *Pending[T] {
-	p := &Pending[T]{c: c, ticket: c.issueSeq, issued: time.Now(), fn: fn}
+	p := &Pending[T]{c: c, ticket: c.issueSeq, fn: fn}
+	if c.g.net != nil {
+		p.issuedVT = c.clock.ns
+	} else {
+		p.issued = time.Now()
+	}
 	c.issueSeq++
 	return p
 }
 
 // Wait completes the collective: it blocks until every peer's payload has
 // arrived, finishes any reduction, and returns the result. The issue-to-Wait
-// window is credited to the rank's hidden-communication counter; time
-// actually spent blocked inside the receives is credited to its exposed
-// counter.
+// window is credited to the rank's hidden-communication counter — minus any
+// part already credited to an earlier handle, so concurrently in-flight
+// collectives (the overlap engine posts several gradient buckets at once)
+// contribute the UNION of their windows, never more than the rank actually
+// executed. Time the receives then leave the rank stalled is credited to
+// its exposed counter (wall-blocked time, or the modeled gap to the
+// messages' ready-times in latency mode).
 func (p *Pending[T]) Wait() T {
 	if p.done {
 		return p.v
@@ -56,7 +70,28 @@ func (p *Pending[T]) Wait() T {
 			c.rank, p.ticket, c.waitSeq))
 	}
 	c.waitSeq++
-	c.hiddenNS += time.Since(p.issued).Nanoseconds()
+	if c.g.net != nil {
+		// The virtual hidden frontier lives on the rank's shared Clock, so
+		// the union also spans handles on different groups of one network.
+		start := p.issuedVT
+		if f := c.clock.hiddenFrontierNS; f > start {
+			start = f
+		}
+		if now := c.clock.ns; now > start {
+			c.hiddenNS += now - start
+			c.clock.hiddenFrontierNS = now
+		}
+	} else {
+		now := time.Now()
+		start := p.issued
+		if c.hiddenFrontier.After(start) {
+			start = c.hiddenFrontier
+		}
+		if d := now.Sub(start); d > 0 {
+			c.hiddenNS += d.Nanoseconds()
+		}
+		c.hiddenFrontier = now
+	}
 	p.v = p.fn()
 	p.fn = nil
 	p.done = true

@@ -26,6 +26,20 @@
 // while ranks are still sending. Given a host mapping, callers can split
 // traffic into intra-host (NVLink in the real system) and cross-host (RDMA)
 // volumes — the quantity the paper's whole argument is about.
+//
+// # Simulated latency
+//
+// By default the mailboxes deliver instantly, so exposed time measures only
+// goroutine synchronization stalls. Groups built with NewGroupNet against a
+// Network instead run a deterministic virtual-time simulation: every message
+// carries a ready-time — the sender's virtual clock at issue plus a modeled
+// point-to-point transfer cost (LatencyModel, typically netsim.P2PTime) —
+// and a receiver whose clock is behind a message's ready-time advances its
+// clock to it and charges the gap to its exposed counter. Compute advances
+// a rank's clock only through explicit Clock.Advance calls, so the whole
+// timeline is a pure function of the byte stream and the charged compute:
+// no time.Now in the delay path, bit-identical timing across runs, however
+// the goroutines are actually scheduled.
 package comm
 
 import (
@@ -60,6 +74,11 @@ type Comm struct {
 	rank int
 	g    *group
 
+	// clock is this rank's virtual clock when the group runs in simulated-
+	// latency mode (NewGroupNet), shared with every other group the same
+	// global rank participates in; nil for instant-delivery groups.
+	clock *Clock
+
 	// Issue/wait sequence numbers for Pending handles and the per-rank
 	// exposed/hidden time counters. Touched only by this rank's goroutine;
 	// read by others only after the rank goroutines have been joined.
@@ -67,6 +86,92 @@ type Comm struct {
 	waitSeq   uint64
 	exposedNS int64
 	hiddenNS  int64
+	// hiddenFrontier is the end of the latest wall-clock hidden window
+	// already credited on this group, so concurrently in-flight handles
+	// credit the union of their issue→Wait windows rather than the sum
+	// (instant mode; latency mode keeps the frontier on the shared Clock).
+	hiddenFrontier time.Time
+}
+
+// LatencyModel prices one point-to-point message for the simulated-latency
+// mode. Implementations must be pure functions of their arguments — the
+// determinism of the virtual timeline rests on it. src and dst are GLOBAL
+// ranks (the identity callers pass to NewGroupNet), so a model can price
+// intra-host and cross-host links differently; src == dst is self-delivery
+// and should cost 0.
+type LatencyModel interface {
+	P2PDelay(src, dst, nbytes int) time.Duration
+}
+
+// Clock is one rank's deterministic virtual clock: the simulated instant
+// that rank has reached. Receives advance it to late messages' ready-times
+// (charging the gap as exposed communication); compute advances it only
+// through Advance, with whatever modeled duration the caller derives —
+// never wall time, or determinism would be lost. A Clock is shared by every
+// group the rank belongs to and must only be touched by the goroutine
+// currently acting as that rank (phases hand it off through Run joins, like
+// the Comm itself).
+type Clock struct {
+	ns int64
+	// hiddenFrontierNS is the virtual end of the latest hidden window
+	// already credited across ALL of the rank's groups (see hiddenFrontier).
+	hiddenFrontierNS int64
+}
+
+// Now returns the rank's current virtual time.
+func (k *Clock) Now() time.Duration { return time.Duration(k.ns) }
+
+// Advance moves the clock forward by a modeled compute duration — the hook
+// that lets posted collectives hide behind compute in virtual time.
+func (k *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("comm: clock advanced by %v", d))
+	}
+	k.ns += d.Nanoseconds()
+}
+
+// Network couples a latency model with one virtual clock per global rank.
+// Build it once per simulated world and pass it to every NewGroupNet call,
+// so the global group and all sub-groups (SPTT's host and peer families)
+// share each rank's single timeline.
+type Network struct {
+	model  LatencyModel
+	clocks []*Clock
+}
+
+// NewNetwork creates a simulated network of `ranks` global ranks priced by
+// the model.
+func NewNetwork(model LatencyModel, ranks int) *Network {
+	if model == nil {
+		panic("comm: NewNetwork requires a latency model")
+	}
+	if ranks <= 0 {
+		panic(fmt.Sprintf("comm: network of %d ranks", ranks))
+	}
+	n := &Network{model: model, clocks: make([]*Clock, ranks)}
+	for i := range n.clocks {
+		n.clocks[i] = &Clock{}
+	}
+	return n
+}
+
+// Clock returns global rank's virtual clock.
+func (n *Network) Clock(rank int) *Clock { return n.clocks[rank] }
+
+// Now returns the per-rank mean virtual time — the simulated wall clock of
+// the whole world (ranks progress together through collectives).
+func (n *Network) Now() time.Duration {
+	var total int64
+	for _, k := range n.clocks {
+		total += k.ns
+	}
+	return time.Duration(total / int64(len(n.clocks)))
+}
+
+// timedMsg wraps a payload with its modeled arrival instant in latency mode.
+type timedMsg struct {
+	v       any
+	readyNS int64
 }
 
 // mailbox is one directed (src, dst) link: an unbounded FIFO queue. The
@@ -141,6 +246,12 @@ type group struct {
 	// the hot path.
 	sent [][]int64
 
+	// net and granks are set for simulated-latency groups: granks[i] is
+	// group rank i's global rank, the identity the latency model prices
+	// links by. Both nil for instant-delivery groups.
+	net    *Network
+	granks []int
+
 	cancelOnce sync.Once
 }
 
@@ -156,15 +267,42 @@ func (g *group) cancel() {
 	})
 }
 
-// NewGroup creates a fresh group of the given size and returns one Comm per
-// rank. Groups are independent: SPTT builds a global group, one intra-host
-// group per host, and one peer group per local index, and hands each rank
-// its three handles.
+// NewGroup creates a fresh instant-delivery group of the given size and
+// returns one Comm per rank. Groups are independent: SPTT builds a global
+// group, one intra-host group per host, and one peer group per local index,
+// and hands each rank its three handles.
 func NewGroup(size int) []*Comm {
+	return NewGroupNet(size, nil, nil)
+}
+
+// NewGroupNet creates a group whose rank i acts as global rank
+// globalRanks[i] on the simulated network (nil globalRanks means the
+// identity — group rank == global rank). A nil net yields the plain
+// instant-delivery group. With a net, every message is stamped with a
+// modeled ready-time and the ranks' shared virtual clocks (net.Clock) drive
+// the exposed/hidden accounting instead of wall time.
+func NewGroupNet(size int, net *Network, globalRanks []int) []*Comm {
 	if size <= 0 {
 		panic(fmt.Sprintf("comm: group size %d", size))
 	}
-	g := &group{size: size}
+	g := &group{size: size, net: net}
+	if net != nil {
+		if globalRanks == nil {
+			globalRanks = make([]int, size)
+			for i := range globalRanks {
+				globalRanks[i] = i
+			}
+		}
+		if len(globalRanks) != size {
+			panic(fmt.Sprintf("comm: %d global ranks for group of %d", len(globalRanks), size))
+		}
+		for _, gr := range globalRanks {
+			if gr < 0 || gr >= len(net.clocks) {
+				panic(fmt.Sprintf("comm: global rank %d outside network of %d", gr, len(net.clocks)))
+			}
+		}
+		g.granks = globalRanks
+	}
 	g.mail = make([][]*mailbox, size)
 	g.sent = make([][]int64, size)
 	for d := 0; d < size; d++ {
@@ -179,6 +317,9 @@ func NewGroup(size int) []*Comm {
 	comms := make([]*Comm, size)
 	for r := 0; r < size; r++ {
 		comms[r] = &Comm{rank: r, g: g}
+		if net != nil {
+			comms[r].clock = net.Clock(g.granks[r])
+		}
 	}
 	return comms
 }
@@ -207,11 +348,14 @@ func (c *Comm) BytesSent() int64 {
 	return t
 }
 
-// Times returns this rank's cumulative collective timing: exposed is time
-// actually spent blocked in receives (communication the schedule failed to
-// hide), hidden is the in-flight window of Pending handles between issue
-// and Wait (communication covered by overlapping compute). Valid to read
-// after the rank goroutines have been joined.
+// Times returns this rank's cumulative collective timing: exposed is
+// communication the schedule failed to hide — wall time actually blocked in
+// receives for instant-delivery groups, modeled virtual gaps to message
+// ready-times for simulated-latency groups — and hidden is the union of the
+// Pending handles' issue→Wait windows (communication covered by overlapping
+// compute; overlapping windows are merged, so a rank's hidden time never
+// exceeds the span it was actually executing). Valid to read after the rank
+// goroutines have been joined.
 func (c *Comm) Times() (exposed, hidden time.Duration) {
 	return time.Duration(c.exposedNS), time.Duration(c.hiddenNS)
 }
@@ -266,11 +410,35 @@ func SplitByHost(m [][]int64, l int) (intra, cross int64) {
 
 func (c *Comm) send(dst int, v any, nbytes int) {
 	atomic.AddInt64(&c.g.sent[c.rank][dst], int64(nbytes))
+	if c.g.net != nil {
+		// The ready-time reads only the SENDER's clock, so it is fixed at
+		// issue and travels with the payload; the mailbox mutex gives the
+		// receiver a happens-before edge to read it.
+		delay := time.Duration(0)
+		if src, d := c.g.granks[c.rank], c.g.granks[dst]; src != d {
+			delay = c.g.net.model.P2PDelay(src, d, nbytes)
+			if delay < 0 {
+				panic(fmt.Sprintf("comm: negative p2p delay %v", delay))
+			}
+		}
+		v = timedMsg{v: v, readyNS: c.clock.ns + delay.Nanoseconds()}
+	}
 	c.g.mail[dst][c.rank].put(v)
 }
 
 func (c *Comm) recv(src int) any {
 	v, blocked := c.g.mail[c.rank][src].take()
+	if c.g.net != nil {
+		// Latency mode: wall time spent blocked is a simulation artifact
+		// (the sender goroutine hadn't posted yet), not modeled transfer —
+		// the exposed cost is the virtual gap to the message's ready-time.
+		tm := v.(timedMsg)
+		if gap := tm.readyNS - c.clock.ns; gap > 0 {
+			c.exposedNS += gap
+			c.clock.ns = tm.readyNS
+		}
+		return tm.v
+	}
 	c.exposedNS += blocked
 	return v
 }
@@ -286,17 +454,20 @@ func tensorBytes(t *tensor.Tensor) int {
 // indexed by source rank. Chunk shapes may differ per destination (the "V"
 // variant), which the embedding distribution steps rely on.
 func (c *Comm) AlltoAllTensors(chunks []*tensor.Tensor) []*tensor.Tensor {
+	c.checkIdle("AlltoAllTensors")
 	return c.IAlltoAllTensors(chunks).Wait()
 }
 
 // AlltoAllInt32 is AlltoAllTensors for index payloads (the sparse-feature
 // distribution of SPTT/baseline step a sends indices, not embeddings).
 func (c *Comm) AlltoAllInt32(chunks [][]int32) [][]int32 {
+	c.checkIdle("AlltoAllInt32")
 	return c.IAlltoAllInt32(chunks).Wait()
 }
 
 // AllGather distributes x to every rank; the result is indexed by source.
 func (c *Comm) AllGather(x *tensor.Tensor) []*tensor.Tensor {
+	c.checkIdle("AllGather")
 	return c.IAllGather(x).Wait()
 }
 
@@ -304,6 +475,7 @@ func (c *Comm) AllGather(x *tensor.Tensor) []*tensor.Tensor {
 // is performed in rank order on every rank, so all ranks obtain bit-identical
 // results (deterministic, unlike real ring reductions).
 func (c *Comm) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
+	c.checkIdle("AllReduceSum")
 	return c.IAllReduceSum(x).Wait()
 }
 
@@ -312,13 +484,18 @@ func (c *Comm) AllReduceSum(x *tensor.Tensor) *tensor.Tensor {
 // row-wise-sharded multi-hot tables (§3.1.3), where partial pooled
 // embeddings must be summed rather than concatenated.
 func (c *Comm) ReduceScatterSum(chunks []*tensor.Tensor) *tensor.Tensor {
+	c.checkIdle("ReduceScatterSum")
 	return c.IReduceScatterSum(chunks).Wait()
 }
 
 // checkIdle panics if this rank still has unwaited Pending handles. The
 // direct-receive collectives (Broadcast, Barrier) do not go through the
 // handle sequencing, so running one with a collective in flight would
-// silently steal the pending collective's mailbox payloads.
+// silently steal the pending collective's mailbox payloads. The blocking
+// wrappers — including every compressed Q form — run the same guard before
+// posting their sends: their immediate Wait would panic on the sequencing
+// violation anyway, but by then the sends would already sit in peers'
+// mailboxes, so the guard fails the call loudly BEFORE the wire is touched.
 func (c *Comm) checkIdle(op string) {
 	if c.waitSeq != c.issueSeq {
 		panic(fmt.Sprintf("comm: rank %d called %s with %d pending handle(s) unwaited",

@@ -64,6 +64,7 @@ func (c *Comm) IAlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) *Pendi
 // AlltoAllTensorsQ is AlltoAllTensors over quantized payloads: chunks[j]
 // travels to rank j at wire size and arrives decoded.
 func (c *Comm) AlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) []*tensor.Tensor {
+	c.checkIdle("AlltoAllTensorsQ")
 	return c.IAlltoAllTensorsQ(s, chunks).Wait()
 }
 
@@ -91,6 +92,7 @@ func (c *Comm) IAllGatherQ(s quant.Scheme, x *tensor.Tensor) *Pending[[]*tensor.
 
 // AllGatherQ distributes x to every rank in quantized form.
 func (c *Comm) AllGatherQ(s quant.Scheme, x *tensor.Tensor) []*tensor.Tensor {
+	c.checkIdle("AllGatherQ")
 	return c.IAllGatherQ(s, x).Wait()
 }
 
@@ -152,6 +154,7 @@ func (c *Comm) IAllReduceSumQ(s quant.Scheme, x *tensor.Tensor) *Pending[*tensor
 
 // AllReduceSumQ sums every rank's quantized contribution in rank order.
 func (c *Comm) AllReduceSumQ(s quant.Scheme, x *tensor.Tensor) *tensor.Tensor {
+	c.checkIdle("AllReduceSumQ")
 	return c.IAllReduceSumQ(s, x).Wait()
 }
 
@@ -185,6 +188,7 @@ func (c *Comm) IReduceScatterSumQ(s quant.Scheme, chunks []*tensor.Tensor) *Pend
 
 // ReduceScatterSumQ is ReduceScatterSum over quantized chunks.
 func (c *Comm) ReduceScatterSumQ(s quant.Scheme, chunks []*tensor.Tensor) *tensor.Tensor {
+	c.checkIdle("ReduceScatterSumQ")
 	return c.IReduceScatterSumQ(s, chunks).Wait()
 }
 

@@ -33,7 +33,9 @@ import (
 	"dmt/internal/comm"
 	"dmt/internal/data"
 	"dmt/internal/models"
+	"dmt/internal/netsim"
 	"dmt/internal/nn"
+	"dmt/internal/perfmodel"
 	"dmt/internal/quant"
 	"dmt/internal/sptt"
 	"dmt/internal/tensor"
@@ -76,6 +78,16 @@ type Config struct {
 	// The zero value (both schemes None) keeps the engine bitwise identical
 	// to the uncompressed trajectory.
 	Compression Compression
+	// Fabric, when non-nil, runs every collective of the step in simulated-
+	// latency mode: messages arrive after the fabric's modeled point-to-
+	// point transfer time (netsim.P2PTime over the G/L host placement; wire
+	// bytes, so compression shrinks delays), per-rank virtual clocks are
+	// advanced by modeled dense compute, and PhaseTimes becomes a
+	// deterministic virtual-time decomposition — ExposedComm is modeled
+	// transfer cost the schedule failed to hide, reproducible bit for bit
+	// across runs. The trajectory itself is unchanged: delay moves time,
+	// never values.
+	Fabric *netsim.Fabric
 }
 
 // Compression is the quantized-communication policy (§6 / the Strong
@@ -126,6 +138,17 @@ type Trainer struct {
 	lastWorldExposed time.Duration
 	lastWorldHidden  time.Duration
 
+	// Simulated-latency mode (Config.Fabric != nil): the shared network of
+	// per-rank virtual clocks, plus the modeled per-rank dense compute
+	// charged to them each step — 2 FLOPs per weight element per sample
+	// forward, twice that backward (input-grad + weight-grad), over the
+	// generation's calibrated effective throughput.
+	net       *comm.Network
+	bottomFwd time.Duration
+	topFwd    time.Duration
+	bottomBwd time.Duration
+	topBwd    time.Duration
+
 	// residuals[g][pi] is rank g's error-feedback memory for over-arch
 	// parameter pi: the part of g+r the wire scheme rounded away last step.
 	// Allocated only when Compression.Gradient is active; each rank writes
@@ -155,9 +178,30 @@ type PhaseTimes struct {
 	// collectives between issue and Wait — communication covered by
 	// overlapping compute. Near zero for the blocking schedules; under
 	// Config.Overlap it is the quantity the refactor exists to maximize.
-	// Windows of concurrently in-flight collectives each count in full, so
-	// the sum can exceed the step's wall time (like aggregate bandwidth).
+	// Windows of concurrently in-flight collectives are merged (interval
+	// union), so a rank's hidden time never exceeds the time it actually
+	// executed.
 	HiddenComm time.Duration
+}
+
+// SimTimes is the simulated-latency decomposition, accumulated only when
+// Config.Fabric is set: the modeled dense compute charged to each rank's
+// virtual clock and the SPTT dataflow's exposed/hidden split by direction —
+// the components of the measured Figure 13 table. All fields are
+// cumulative; the SPTT fields are mean-per-rank. Deterministic: every value
+// is derived from the byte stream and the analytic compute model, never
+// from wall time.
+type SimTimes struct {
+	// DenseFwd/DenseBwd are the modeled over-arch forward/backward compute
+	// per rank (identical on every rank by symmetry).
+	DenseFwd time.Duration
+	DenseBwd time.Duration
+	// SPTT forward/backward modeled communication, split into transfer
+	// time the schedule exposed vs hid behind compute.
+	SPTTFwdExposed time.Duration
+	SPTTFwdHidden  time.Duration
+	SPTTBwdExposed time.Duration
+	SPTTBwdHidden  time.Duration
 }
 
 // Stats reports cumulative step counts, per-phase times, and gradient /
@@ -175,6 +219,9 @@ type Stats struct {
 	// Embedding dataflow bytes: SPTT forward and backward, all fabrics.
 	EmbIntraHostBytes int64
 	EmbCrossHostBytes int64
+	// Sim is the simulated-latency component breakdown; zero unless the
+	// trainer runs with Config.Fabric.
+	Sim SimTimes
 }
 
 // TowersInHostOrder converts a tower partition into the feature order the
@@ -252,7 +299,25 @@ func New(cfg Config) (*Trainer, error) {
 		tr.sparseOpt.Prime(e)
 	}
 	tr.engine = eng
-	tr.world = comm.NewGroup(cfg.G)
+	if cfg.Fabric != nil {
+		tr.net = comm.NewNetwork(fabricLatency{f: cfg.Fabric, l: cfg.L}, cfg.G)
+		elems := func(ps []*nn.Param) (n int64) {
+			for _, p := range ps {
+				n += int64(p.Value.Len())
+			}
+			return n
+		}
+		bot := elems(tr.replicas[0].BottomParams())
+		top := elems(tr.replicas[0].OverArchParams()) - bot
+		// ns per weight element: 2 FLOPs per element per sample forward,
+		// over the generation's calibrated effective training throughput.
+		perElem := 2 * float64(cfg.LocalBatch) / (perfmodel.EffectiveTFlops(cfg.Fabric.Gen) * 1e12) * 1e9
+		tr.bottomFwd = time.Duration(float64(bot) * perElem)
+		tr.topFwd = time.Duration(float64(top) * perElem)
+		tr.bottomBwd = 2 * tr.bottomFwd
+		tr.topBwd = 2 * tr.topFwd
+	}
+	tr.world = comm.NewGroupNet(cfg.G, tr.net, nil)
 	tr.buckets = planBuckets(tr.replicas[0], cfg.BucketBytes)
 	if cfg.Compression.Gradient != quant.None {
 		for g := 0; g < cfg.G; g++ {
@@ -277,6 +342,58 @@ func (tr *Trainer) Residual(g, pi int) *tensor.Tensor {
 
 // Engine exposes the dataflow engine (its tables are the canonical ones).
 func (tr *Trainer) Engine() *sptt.Engine { return tr.engine }
+
+// Network exposes the simulated network (nil unless Config.Fabric is set) —
+// test and diagnostics hook for the per-rank virtual clocks.
+func (tr *Trainer) Network() *comm.Network { return tr.net }
+
+// fabricLatency adapts netsim's point-to-point cost model to the comm
+// runtime: ranks are laid out Config.L per host, so a pair shares NVLink
+// iff they share a host index. The delay is a pure function of (src, dst,
+// bytes), which is what makes the virtual timeline reproducible.
+type fabricLatency struct {
+	f *netsim.Fabric
+	l int
+}
+
+func (m fabricLatency) P2PDelay(src, dst, nbytes int) time.Duration {
+	if src == dst {
+		return 0
+	}
+	return time.Duration(m.f.P2PTime(nbytes, src/m.l == dst/m.l) * float64(time.Second))
+}
+
+// charge advances rank g's virtual clock by a modeled compute duration; a
+// no-op outside simulated-latency mode. This is how dense compute hides
+// in-flight collectives in virtual time.
+func (tr *Trainer) charge(g int, d time.Duration) {
+	if tr.net != nil {
+		tr.net.Clock(g).Advance(d)
+	}
+}
+
+// phaseClock returns a lap function for the step's phase walls: each call
+// yields the time since the previous one. Wall time normally; the
+// network's mean virtual time in simulated-latency mode, so PhaseTimes is
+// deterministic and decomposes the MODELED timeline.
+func (tr *Trainer) phaseClock() func() time.Duration {
+	if tr.net != nil {
+		last := tr.net.Now()
+		return func() time.Duration {
+			now := tr.net.Now()
+			d := now - last
+			last = now
+			return d
+		}
+	}
+	last := time.Now()
+	return func() time.Duration {
+		now := time.Now()
+		d := now.Sub(last)
+		last = now
+		return d
+	}
+}
 
 // Replica returns rank g's model replica.
 func (tr *Trainer) Replica(g int) *models.DMTDLRM { return tr.replicas[g] }
@@ -328,7 +445,9 @@ func (tr *Trainer) denseRank(g int, batches []*data.Batch, compressed, dCompress
 	}
 	logits := m.ForwardDense(batches[g].Dense, compressed[g])
 	res.PerRankLoss[g] = tr.loss[g].Forward(logits, batches[g].Labels)
+	tr.charge(g, tr.bottomFwd+tr.topFwd)
 	dCompressed[g] = m.BackwardDense(tr.loss[g].Backward())
+	tr.charge(g, tr.bottomBwd+tr.topBwd)
 }
 
 // stepParallel is the rank-parallel engine: four phases, each with one
@@ -336,10 +455,10 @@ func (tr *Trainer) denseRank(g int, batches []*data.Batch, compressed, dCompress
 // the dense phases share the trainer's persistent world group.
 func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
 	cfg := tr.cfg
-	t0 := time.Now()
+	lap := tr.phaseClock()
 	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules,
-		sptt.Options{CrossHost: cfg.Compression.Embedding})
-	t1 := time.Now()
+		sptt.Options{CrossHost: cfg.Compression.Embedding, Net: tr.net})
+	embFwd := lap()
 
 	// Dense forward/backward, one goroutine per rank. Replicas, losses, and
 	// per-rank result slots are disjoint, so no synchronization beyond the
@@ -353,12 +472,12 @@ func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) St
 	for g := 0; g < cfg.G; g++ {
 		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
 	}
-	t2 := time.Now()
+	dense := lap()
 
 	// Backward through the dataflow: tower-module gradients are reduced
 	// intra-host inside SPTTBackward; sparse gradients land at the owners.
 	sparse := tr.engine.SPTTBackward(st, dCompressed)
-	t3 := time.Now()
+	embBwd := lap()
 
 	// Gradient normalization to the global-batch mean (see package doc):
 	// over-arch gradients average across all ranks via AllReduce (the comm
@@ -371,21 +490,21 @@ func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) St
 		tr.reduceOverArch(c, invG)
 		tr.scaleRank(c.Rank(), sparse, invG)
 	})
-	t4 := time.Now()
+	gradEx := lap()
 
 	// Updates: each rank steps its over-arch and its own tower module; each
 	// owner rank applies sparse updates to its canonical tables.
 	comm.Run(tr.world, func(c *comm.Comm) {
 		tr.updateRank(c.Rank(), sparse)
 	})
-	t5 := time.Now()
+	update := lap()
 
 	exposed, hidden := tr.commTimes(st)
 	tr.account(st, PhaseTimes{
-		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
-		Dense:        t2.Sub(t1),
-		GradExchange: t4.Sub(t3),
-		Update:       t5.Sub(t4),
+		EmbComm:      embFwd + embBwd,
+		Dense:        dense,
+		GradExchange: gradEx,
+		Update:       update,
 		ExposedComm:  exposed,
 		HiddenComm:   hidden,
 	})
@@ -506,10 +625,10 @@ func (tr *Trainer) updateRank(g int, sparse map[int]*nn.SparseGrad) {
 // centralized cross-replica loops instead of collectives.
 func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
 	cfg := tr.cfg
-	t0 := time.Now()
+	lap := tr.phaseClock()
 	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules,
-		sptt.Options{CrossHost: cfg.Compression.Embedding})
-	t1 := time.Now()
+		sptt.Options{CrossHost: cfg.Compression.Embedding, Net: tr.net})
+	embFwd := lap()
 
 	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
 	dCompressed := make([]*tensor.Tensor, cfg.G)
@@ -517,10 +636,10 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 		tr.denseRank(g, batches, compressed, dCompressed, &res)
 		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
 	}
-	t2 := time.Now()
+	dense := lap()
 
 	sparse := tr.engine.SPTTBackward(st, dCompressed)
-	t3 := time.Now()
+	embBwd := lap()
 
 	invG := 1 / float32(cfg.G)
 	overArch := make([][]*nn.Param, cfg.G)
@@ -572,7 +691,7 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 			d[i] *= invG
 		}
 	}
-	t4 := time.Now()
+	gradEx := lap()
 
 	for g := 0; g < cfg.G; g++ {
 		params := append(append([]*nn.Param(nil), overArch[g]...), tr.modules[g].Params()...)
@@ -583,14 +702,14 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 			tr.sparseOpt.Step(tr.engine.Tables[f], sg)
 		}
 	}
-	t5 := time.Now()
+	update := lap()
 
 	exposed, hidden := tr.commTimes(st)
 	tr.account(st, PhaseTimes{
-		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
-		Dense:        t2.Sub(t1),
-		GradExchange: t4.Sub(t3),
-		Update:       t5.Sub(t4),
+		EmbComm:      embFwd + embBwd,
+		Dense:        dense,
+		GradExchange: gradEx,
+		Update:       update,
 		ExposedComm:  exposed,
 		HiddenComm:   hidden,
 	})
@@ -623,6 +742,15 @@ func (tr *Trainer) account(st *sptt.SPTTState, ph PhaseTimes) {
 	tr.stats.Phases.Update += ph.Update
 	tr.stats.Phases.ExposedComm += ph.ExposedComm
 	tr.stats.Phases.HiddenComm += ph.HiddenComm
+	if tr.net != nil {
+		g := time.Duration(tr.cfg.G)
+		tr.stats.Sim.DenseFwd += tr.bottomFwd + tr.topFwd
+		tr.stats.Sim.DenseBwd += tr.bottomBwd + tr.topBwd
+		tr.stats.Sim.SPTTFwdExposed += st.ExposedComm / g
+		tr.stats.Sim.SPTTFwdHidden += st.HiddenComm / g
+		tr.stats.Sim.SPTTBwdExposed += st.BwdExposedComm / g
+		tr.stats.Sim.SPTTBwdHidden += st.BwdHiddenComm / g
+	}
 	for _, m := range [][][]int64{
 		st.GlobalTraffic, st.HostTraffic, st.PeerTraffic,
 		st.BwdGlobalTraffic, st.BwdHostTraffic, st.BwdPeerTraffic,

@@ -1,8 +1,6 @@
 package distributed
 
 import (
-	"time"
-
 	"dmt/internal/comm"
 	"dmt/internal/data"
 	"dmt/internal/models"
@@ -92,21 +90,26 @@ func (tr *Trainer) Buckets() [][]int {
 // sharper lens on this schedule is PhaseTimes.ExposedComm/HiddenComm.
 func (tr *Trainer) stepOverlapped(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
 	cfg := tr.cfg
-	t0 := time.Now()
+	lap := tr.phaseClock()
 
 	// SPTT forward; each rank's bottom-MLP forward runs inside the Overlap
-	// hook, while its step (f) peer AlltoAll is in flight.
+	// hook, while its step (f) peer AlltoAll is in flight. In latency mode
+	// the hook charges the modeled bottom-forward compute, so the modeled
+	// transfer time of the cross-host hop is (partly) covered in virtual
+	// time — the mechanism the schedule's exposed-comm reduction rests on.
 	denseEmb := make([]*tensor.Tensor, cfg.G)
 	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{
 		CrossHost: cfg.Compression.Embedding,
+		Net:       tr.net,
 		Overlap: func(g int) {
 			for _, p := range tr.replicas[g].DenseParams() {
 				p.ZeroGrad()
 			}
 			denseEmb[g] = tr.replicas[g].ForwardBottom(batches[g].Dense)
+			tr.charge(g, tr.bottomFwd)
 		},
 	})
-	t1 := time.Now()
+	embFwd := lap()
 
 	// Dense phase: finish the forward from the precomputed bottom-MLP
 	// activation, then the staged backward with bucket launches as each
@@ -121,7 +124,9 @@ func (tr *Trainer) stepOverlapped(batches []*data.Batch, inputs []*sptt.Inputs) 
 		params := m.OverArchParams()
 		logits := m.ForwardDenseFrom(denseEmb[g], compressed[g])
 		res.PerRankLoss[g] = tr.loss[g].Forward(logits, batches[g].Labels)
+		tr.charge(g, tr.topFwd)
 		dC, dDenseEmb := m.BackwardTop(tr.loss[g].Backward())
+		tr.charge(g, tr.topBwd)
 		dCompressed[g] = dC
 		launch := func(afterBottom bool) {
 			for _, b := range tr.buckets {
@@ -132,19 +137,23 @@ func (tr *Trainer) stepOverlapped(batches []*data.Batch, inputs []*sptt.Inputs) 
 		}
 		launch(false) // top-MLP buckets fly while the bottom backward runs
 		m.BackwardBottom(dDenseEmb)
+		tr.charge(g, tr.bottomBwd)
 		launch(true)
 	})
 	// Summed in rank order after the join so the mean is deterministic.
 	for g := 0; g < cfg.G; g++ {
 		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
 	}
-	t2 := time.Now()
+	dense := lap()
 
 	// SPTT backward runs while the over-arch buckets are still in flight on
 	// the world group, so the gradient exchange also hides behind the
-	// embedding backward and the intra-tower reduction.
+	// embedding backward and the intra-tower reduction — in latency mode
+	// literally: the backward's modeled collective time advances the ranks'
+	// clocks past the buckets' ready-times, so finishing them below exposes
+	// (close to) nothing.
 	sparse := tr.engine.SPTTBackward(st, dCompressed)
-	t3 := time.Now()
+	embBwd := lap()
 
 	// Complete the buckets (in launch order — the wire format) and perform
 	// the same gradient normalization as the blocking engines.
@@ -157,20 +166,20 @@ func (tr *Trainer) stepOverlapped(batches []*data.Batch, inputs []*sptt.Inputs) 
 		}
 		tr.scaleRank(g, sparse, invG)
 	})
-	t4 := time.Now()
+	gradEx := lap()
 
 	// Updates: identical to stepParallel.
 	comm.Run(tr.world, func(c *comm.Comm) {
 		tr.updateRank(c.Rank(), sparse)
 	})
-	t5 := time.Now()
+	update := lap()
 
 	exposed, hidden := tr.commTimes(st)
 	tr.account(st, PhaseTimes{
-		EmbComm:      t1.Sub(t0) + t3.Sub(t2),
-		Dense:        t2.Sub(t1),
-		GradExchange: t4.Sub(t3),
-		Update:       t5.Sub(t4),
+		EmbComm:      embFwd + embBwd,
+		Dense:        dense,
+		GradExchange: gradEx,
+		Update:       update,
 		ExposedComm:  exposed,
 		HiddenComm:   hidden,
 	})

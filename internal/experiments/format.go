@@ -92,8 +92,8 @@ func FormatFigure12(rows []Figure12Row) string {
 	return b.String()
 }
 
-// FormatFigure13 renders the component-latency comparison.
-func FormatFigure13(r Figure13Result) string {
+// FormatFigure13Model renders the perfmodel component-latency comparison.
+func FormatFigure13Model(r Figure13ModelResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 13: Component latency, DCN vs DMT-DCN on 64xH100 (ms)\n")
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "", "Compute", "EmbComm", "DenseSync", "Others")

@@ -235,9 +235,11 @@ func Figure12() []Figure12Row {
 	return rows
 }
 
-// Figure13Result compares component latencies of DCN and DMT-DCN on
-// 64×H100.
-type Figure13Result struct {
+// Figure13ModelResult compares perfmodel component latencies of DCN and
+// DMT-DCN on 64×H100 against the paper's Figure 13 bars. (The MEASURED
+// component-latency table — the comm runtime driven by the netsim cost
+// model — is Figure13 in latency.go.)
+type Figure13ModelResult struct {
 	DCN, DMTDCN perfmodel.Breakdown
 	// Paper milliseconds: DCN compute 29.4 / emb 11.5; DMT 21.8 / 2.5;
 	// dense 1.2.
@@ -246,13 +248,14 @@ type Figure13Result struct {
 	ComputeImprovement, EmbImprovement float64
 }
 
-// Figure13 reproduces the component-latency comparison.
-func Figure13() Figure13Result {
+// Figure13Model reproduces the paper's component-latency comparison from
+// the closed-form performance model.
+func Figure13Model() Figure13ModelResult {
 	c := topology.NewCluster(topology.H100, 64)
 	spec := perfmodel.DCNSpec()
 	base := perfmodel.Iterate(perfmodel.DefaultConfig(spec, c, perfmodel.Baseline))
 	dmt := perfmodel.Iterate(perfmodel.DefaultConfig(spec, c, perfmodel.DMT))
-	r := Figure13Result{
+	r := Figure13ModelResult{
 		DCN: base, DMTDCN: dmt,
 		PaperDCNComputeMS: 29.4, PaperDCNEmbMS: 11.5,
 		PaperDMTComputeMS: 21.8, PaperDMTEmbMS: 2.5,

@@ -7,6 +7,7 @@ import (
 	"dmt/internal/data"
 	"dmt/internal/distributed"
 	"dmt/internal/models"
+	"dmt/internal/netsim"
 	"dmt/internal/quant"
 )
 
@@ -35,6 +36,11 @@ type TrainingProfile struct {
 	// AlltoAll behind the bottom-MLP forward and the bucketed gradient
 	// AllReduce behind the dense and embedding backward.
 	Overlap bool
+	// Fabric, when non-nil, runs the engines in simulated-latency mode: the
+	// comm runtime delivers messages after this fabric's modeled transfer
+	// times and the exposed/hidden columns become deterministic virtual-
+	// clock quantities (the Figure 13 measurement).
+	Fabric *netsim.Fabric
 }
 
 // SmokeTraining keeps the test suite fast.
@@ -103,6 +109,7 @@ func NewTrainer(p TrainingProfile, sequential bool) (*distributed.Trainer, *data
 			Gradient:  p.Compress,
 			Embedding: p.Compress,
 		},
+		Fabric: p.Fabric,
 	}
 	tr, err := distributed.New(cfg)
 	return tr, gen, err

@@ -62,6 +62,13 @@ const (
 	intraEffAllReduce = 163.0 / 300.0
 	// alphaLatency is the per-hop latency of a collective step (seconds).
 	alphaLatency = 18e-6
+	// p2pLatencyIntra/Cross are the fitted per-message point-to-point
+	// latency constants (seconds) behind P2PTime: the fixed cost of landing
+	// one message on a peer, NVLink copy launch vs RDMA verb round trip.
+	// They are deliberately smaller than alphaLatency, which amortizes a
+	// whole log2(n)-step collective schedule into one per-hop figure.
+	p2pLatencyIntra = 2e-6
+	p2pLatencyCross = 5e-6
 )
 
 // etaPoint is one calibrated congestion-efficiency sample.
@@ -141,12 +148,25 @@ func (f *Fabric) nvlinkScale() float64 { return f.Gen.ScaleUpGBps / topology.A10
 // world ranks spread ranksPerHost per host. Bus bandwidth follows NCCL's
 // convention: it is the size-independent figure of merit; latency is added
 // separately by Time.
+//
+// Degenerate layouts resolve to the nearest meaningful configuration
+// instead of falling through the cross-host math: ranksPerHost > world
+// clamps to world (every rank fits on one host), and world == 1 reports the
+// single-host link rate (finite, so callers dividing by it never see
+// NaN/Inf) even though a 1-rank collective moves no bytes — Time returns 0
+// for it.
 func (f *Fabric) BusBW(coll Collective, world, ranksPerHost int) float64 {
-	if world < 1 || ranksPerHost < 1 || ranksPerHost > world {
+	if world < 1 || ranksPerHost < 1 {
 		panic(fmt.Sprintf("netsim: bad world %d / ranksPerHost %d", world, ranksPerHost))
 	}
+	if ranksPerHost > world {
+		ranksPerHost = world
+	}
 	if world == 1 {
-		return math.Inf(1)
+		if coll == AlltoAll {
+			return intraEffAlltoAll * f.Gen.ScaleUpGBps
+		}
+		return intraEffAllReduce * f.Gen.ScaleUpGBps
 	}
 	hosts := float64(world) / float64(ranksPerHost)
 	switch coll {
@@ -195,9 +215,11 @@ func (f *Fabric) alltoallCrossBusBW(world, ranksPerHost int) float64 {
 }
 
 // Time returns the predicted wall-clock seconds for a collective moving
-// bytes per rank.
+// bytes per rank. Degenerate inputs cost nothing: a 1-rank world exchanges
+// with nobody and a 0-byte payload never leaves the GPU, so both return 0
+// rather than a latency floor (the collective would be elided entirely).
 func (f *Fabric) Time(coll Collective, world, ranksPerHost int, bytes int) float64 {
-	if world == 1 {
+	if world == 1 || bytes <= 0 {
 		return 0
 	}
 	bw := f.BusBW(coll, world, ranksPerHost) * 1e9
@@ -211,6 +233,23 @@ func (f *Fabric) Time(coll Collective, world, ranksPerHost int, bytes int) float
 	}
 	latency := f.Alpha * math.Ceil(math.Log2(n))
 	return latency + float64(bytes)*factor/bw
+}
+
+// P2PTime predicts the wall-clock seconds one point-to-point message of
+// nbytes takes between two ranks: the fitted per-message latency constant
+// for the fabric the pair shares plus serialization over that link — NVLink
+// inside a host, the per-GPU NIC across hosts. This is the per-message cost
+// the comm runtime's simulated-latency mode (comm.Network) charges, from
+// which the modeled collective times emerge message by message; empty
+// messages (barrier tokens) still pay the latency constant.
+func (f *Fabric) P2PTime(nbytes int, sameHost bool) float64 {
+	if nbytes < 0 {
+		panic(fmt.Sprintf("netsim: p2p message of %d bytes", nbytes))
+	}
+	if sameHost {
+		return p2pLatencyIntra + float64(nbytes)/(f.Gen.ScaleUpGBps*1e9)
+	}
+	return p2pLatencyCross + float64(nbytes)/(f.Gen.ScaleOutGBps()*1e9)
 }
 
 // Figure5Point is one (world size, bus bandwidth) sample of the scalability

@@ -133,7 +133,74 @@ func TestBadArgsPanic(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(topology.A100).BusBW(AlltoAll, 4, 8) // ranksPerHost > world
+	New(topology.A100).BusBW(AlltoAll, 0, 1) // world < 1 is garbage, not an edge
+}
+
+// TestEdgeCases pins the degenerate-layout contract for all four
+// collectives: a 1-rank world and a 0-byte payload cost nothing, a
+// ranksPerHost exceeding the world clamps to the single-host (intra) path,
+// and no edge ever yields NaN/Inf out of Time or a non-positive bandwidth.
+func TestEdgeCases(t *testing.T) {
+	f := New(topology.A100)
+	colls := []Collective{AllReduce, AlltoAll, ReduceScatter, AllGather}
+	for _, coll := range colls {
+		t.Run(coll.String(), func(t *testing.T) {
+			// world == 1: free in time, finite in bandwidth.
+			if got := f.Time(coll, 1, 1, 64<<20); got != 0 {
+				t.Errorf("Time(world=1) = %v, want 0", got)
+			}
+			bw := f.BusBW(coll, 1, 1)
+			if math.IsNaN(bw) || math.IsInf(bw, 0) || bw <= 0 {
+				t.Errorf("BusBW(world=1) = %v, want finite positive", bw)
+			}
+			// bytes == 0: the collective is elided.
+			if got := f.Time(coll, 64, 8, 0); got != 0 {
+				t.Errorf("Time(bytes=0) = %v, want 0", got)
+			}
+			// ranksPerHost > world: behaves as the single-host layout.
+			if got, want := f.BusBW(coll, 4, 8), f.BusBW(coll, 4, 4); got != want {
+				t.Errorf("BusBW(rph>world) = %v, want intra value %v", got, want)
+			}
+			if got := f.Time(coll, 4, 8, 64<<20); math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+				t.Errorf("Time(rph>world) = %v, want finite positive", got)
+			}
+			// world == 1 AND ranksPerHost > world compose.
+			if got := f.Time(coll, 1, 8, 64<<20); got != 0 {
+				t.Errorf("Time(world=1, rph=8) = %v, want 0", got)
+			}
+		})
+	}
+}
+
+func TestP2PTime(t *testing.T) {
+	f := New(topology.A100)
+	// Empty messages still pay the per-message latency constant (barrier
+	// tokens are not free), and intra-host beats cross-host at every size.
+	if f.P2PTime(0, true) <= 0 || f.P2PTime(0, false) <= 0 {
+		t.Fatal("0-byte message should cost the latency constant")
+	}
+	for _, nbytes := range []int{0, 1 << 10, 1 << 20, 64 << 20} {
+		intra, cross := f.P2PTime(nbytes, true), f.P2PTime(nbytes, false)
+		if intra >= cross {
+			t.Fatalf("%dB: intra %v should beat cross %v", nbytes, intra, cross)
+		}
+	}
+	// Large messages are bandwidth-bound at the link rates.
+	const nbytes = 1 << 30
+	wantCross := float64(nbytes) / (topology.A100.ScaleOutGBps() * 1e9)
+	if got := f.P2PTime(nbytes, false); math.Abs(got-wantCross)/wantCross > 0.01 {
+		t.Fatalf("cross 1GiB: %v, want ~%v", got, wantCross)
+	}
+	// Monotone in bytes.
+	if f.P2PTime(2<<20, false) <= f.P2PTime(1<<20, false) {
+		t.Fatal("p2p time must grow with bytes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative bytes should panic")
+		}
+	}()
+	f.P2PTime(-1, true)
 }
 
 func TestCollectiveString(t *testing.T) {

@@ -21,7 +21,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 	if len(dOuts) != cfg.G {
 		panic(fmt.Sprintf("sptt: %d gradients for %d ranks", len(dOuts), cfg.G))
 	}
-	gs := newGroupSet(cfg.G, cfg.L)
+	gs := newGroupSet(cfg.G, cfg.L, st.net)
 	perm := PeerOrder(cfg.G, cfg.L)
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 	grads := make([]map[int]*nn.SparseGrad, cfg.G)

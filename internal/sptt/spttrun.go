@@ -36,14 +36,27 @@ type groupSet struct {
 	peer    [][]*comm.Comm // [class][host index]
 }
 
-func newGroupSet(g, l int) *groupSet {
+// newGroupSet builds the three families over an optional simulated network:
+// with a non-nil net, every sub-group is created with its ranks' GLOBAL
+// identities (host h owns ranks h*l..h*l+l-1; peer class m owns ranks
+// {t*l+m}), so the latency model prices each hop by the actual host
+// placement and all families share each rank's one virtual clock.
+func newGroupSet(g, l int, net *comm.Network) *groupSet {
 	t := g / l
-	gs := &groupSet{g: g, l: l, t: t, global: comm.NewGroup(g)}
+	gs := &groupSet{g: g, l: l, t: t, global: comm.NewGroupNet(g, net, nil)}
 	for h := 0; h < t; h++ {
-		gs.host = append(gs.host, comm.NewGroup(l))
+		granks := make([]int, l)
+		for j := range granks {
+			granks[j] = h*l + j
+		}
+		gs.host = append(gs.host, comm.NewGroupNet(l, net, granks))
 	}
 	for m := 0; m < l; m++ {
-		gs.peer = append(gs.peer, comm.NewGroup(t))
+		granks := make([]int, t)
+		for th := range granks {
+			granks[th] = th*l + m
+		}
+		gs.peer = append(gs.peer, comm.NewGroupNet(t, net, granks))
 	}
 	return gs
 }
@@ -124,6 +137,10 @@ type SPTTState struct {
 	// pass reuses it so both directions of the peer exchange are compressed
 	// symmetrically.
 	crossHost quant.Scheme
+	// net is the forward pass's simulated network (nil for instant
+	// delivery); the backward pass reuses it so both directions run on the
+	// same virtual clocks.
+	net *comm.Network
 
 	// GlobalTraffic covers step (a); HostTraffic step (d); PeerTraffic
 	// step (f). All matrices are G×G, global-rank indexed.
@@ -176,6 +193,16 @@ type Options struct {
 	// not perform collectives on the dataflow's groups. Purely a
 	// scheduling change: outputs are bitwise identical with or without it.
 	Overlap func(rank int)
+	// Net, when non-nil, runs the dataflow's collectives in simulated-
+	// latency mode: all communicator families are built against this
+	// network, so message delays follow its point-to-point cost model and
+	// the state's Exposed/Hidden times are modeled virtual-clock quantities
+	// (deterministic) rather than goroutine-stall wall time. Outputs are
+	// bitwise identical with or without it — delay changes timing, never
+	// values. The Overlap hook may advance the rank's clock
+	// (Net.Clock(rank).Advance) to model the compute that hides the
+	// exchange.
+	Net *comm.Network
 }
 
 // SPTTForward runs the pass-through transform (steps a–f, no tower module):
@@ -206,7 +233,7 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 	if len(inputs) != cfg.G {
 		panic(fmt.Sprintf("sptt: %d inputs for %d ranks", len(inputs), cfg.G))
 	}
-	gs := newGroupSet(cfg.G, cfg.L)
+	gs := newGroupSet(cfg.G, cfg.L, opt.Net)
 	perm := PeerOrder(cfg.G, cfg.L)
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 	outs := make([]*tensor.Tensor, cfg.G)
@@ -214,6 +241,7 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 		lookups:   make([]*rankLookupState, cfg.G),
 		modules:   modules,
 		crossHost: opt.CrossHost,
+		net:       opt.Net,
 	}
 
 	gs.run(func(c *comm.Comm) {

@@ -43,7 +43,7 @@ func (e *Engine) SPTTForwardRowWise(inputs []*Inputs) ([]*tensor.Tensor, *RowWis
 	if len(cfg.TowerOf) != cfg.F() {
 		panic("sptt: row-wise SPTT requires TowerOf")
 	}
-	gs := newGroupSet(cfg.G, cfg.L)
+	gs := newGroupSet(cfg.G, cfg.L, nil)
 	perm := PeerOrder(cfg.G, cfg.L)
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 	outs := make([]*tensor.Tensor, cfg.G)
@@ -152,7 +152,7 @@ func (e *Engine) SPTTForwardRowWise(inputs []*Inputs) ([]*tensor.Tensor, *RowWis
 // result concatenates disjoint row sets across the tower's ranks.
 func (e *Engine) SPTTBackwardRowWise(st *RowWiseState, dOuts []*tensor.Tensor) map[int]*nn.SparseGrad {
 	cfg := e.Cfg
-	gs := newGroupSet(cfg.G, cfg.L)
+	gs := newGroupSet(cfg.G, cfg.L, nil)
 	perm := PeerOrder(cfg.G, cfg.L)
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 
