@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check fuzz-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-embtier bench-embtier-check fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,19 @@ bench-latency:
 # bit-for-bit deterministic.
 bench-latency-check:
 	$(GO) test -run '^TestFigure13Measured$$' -v ./internal/experiments
+
+# The disaggregated embedding tier's memory:compute sweep (dmt-bench -exp
+# embtier): local tables vs 1/2/4 dedicated embedding-server ranks, hot-ID
+# cache off and on.
+bench-embtier:
+	$(GO) run ./cmd/dmt-bench -exp embtier
+
+# CI gate behind the embedding tier: every configuration follows one
+# bitwise trajectory, the remote tier actually ships cross-host lookup
+# bytes, and the write-back cache strictly reduces both lookup wire volume
+# and modeled exposed lookup time vs cache-off.
+bench-embtier-check:
+	$(GO) test -run '^TestEmbTierCacheReducesExposedLookup$$' -v ./internal/experiments
 
 # Short native-fuzz runs over the wire codec (go test allows one -fuzz
 # target per invocation, hence the two runs).

@@ -11,6 +11,7 @@
 //	dmt-bench -exp train -compress fp16  # measured training over a quantized wire
 //	dmt-bench -exp train -overlap      # add the overlapped engine row
 //	dmt-bench -exp fig13 -gen h100     # measured component latencies on a simulated fabric
+//	dmt-bench -exp embtier             # disaggregated embedding tier memory:compute sweep
 //	dmt-bench -list                    # list experiment names
 //
 // -gen picks the hardware generation (v100, a100, h100) for the experiments
@@ -70,8 +71,9 @@ var runners = map[string]func() string{
 	"fig11": func() string {
 		return experiments.FormatSpeedups("Figure 11: Speedup of Tower Modules over SPTT (DLRM)", experiments.Figure11())
 	},
-	"fig12": func() string { return experiments.FormatFigure12(experiments.Figure12()) },
-	"fig13": func() string { return experiments.FormatFigure13(experiments.Figure13(gen)) },
+	"fig12":   func() string { return experiments.FormatFigure12(experiments.Figure12()) },
+	"fig13":   func() string { return experiments.FormatFigure13(experiments.Figure13(gen)) },
+	"embtier": func() string { return experiments.FormatEmbTier(experiments.EmbTier(gen)) },
 	"fig13model": func() string {
 		return experiments.FormatFigure13Model(experiments.Figure13Model())
 	},
@@ -97,7 +99,7 @@ var runners = map[string]func() string{
 }
 
 // order fixes the presentation sequence for the "run everything" mode.
-var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13model", "fig13", "quant", "khost", "train", "timeline"}
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13model", "fig13", "embtier", "quant", "khost", "train", "timeline"}
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")

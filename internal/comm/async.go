@@ -43,7 +43,7 @@ type Pending[T any] struct {
 func newPending[T any](c *Comm, fn func() T) *Pending[T] {
 	p := &Pending[T]{c: c, ticket: c.issueSeq, fn: fn}
 	if c.g.net != nil {
-		p.issuedVT = c.clock.ns
+		p.issuedVT = c.clock.ns.Load()
 	} else {
 		p.issued = time.Now()
 	}
@@ -77,7 +77,7 @@ func (p *Pending[T]) Wait() T {
 		if f := c.clock.hiddenFrontierNS; f > start {
 			start = f
 		}
-		if now := c.clock.ns; now > start {
+		if now := c.clock.ns.Load(); now > start {
 			c.hiddenNS += now - start
 			c.clock.hiddenFrontierNS = now
 		}

@@ -108,18 +108,19 @@ type LatencyModel interface {
 // (charging the gap as exposed communication); compute advances it only
 // through Advance, with whatever modeled duration the caller derives —
 // never wall time, or determinism would be lost. A Clock is shared by every
-// group the rank belongs to and must only be touched by the goroutine
+// group the rank belongs to and must only be ADVANCED by the goroutine
 // currently acting as that rank (phases hand it off through Run joins, like
-// the Comm itself).
+// the Comm itself); ns is read atomically so observers — Network.Now between
+// phases, or while persistent server ranks keep running — see whole values.
 type Clock struct {
-	ns int64
+	ns atomic.Int64
 	// hiddenFrontierNS is the virtual end of the latest hidden window
 	// already credited across ALL of the rank's groups (see hiddenFrontier).
 	hiddenFrontierNS int64
 }
 
 // Now returns the rank's current virtual time.
-func (k *Clock) Now() time.Duration { return time.Duration(k.ns) }
+func (k *Clock) Now() time.Duration { return time.Duration(k.ns.Load()) }
 
 // Advance moves the clock forward by a modeled compute duration — the hook
 // that lets posted collectives hide behind compute in virtual time.
@@ -127,7 +128,7 @@ func (k *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("comm: clock advanced by %v", d))
 	}
-	k.ns += d.Nanoseconds()
+	k.ns.Add(d.Nanoseconds())
 }
 
 // Network couples a latency model with one virtual clock per global rank.
@@ -163,7 +164,7 @@ func (n *Network) Clock(rank int) *Clock { return n.clocks[rank] }
 func (n *Network) Now() time.Duration {
 	var total int64
 	for _, k := range n.clocks {
-		total += k.ns
+		total += k.ns.Load()
 	}
 	return time.Duration(total / int64(len(n.clocks)))
 }
@@ -266,6 +267,22 @@ func (g *group) cancel() {
 		}
 	})
 }
+
+// CancelGroup poisons every mailbox of the group the comms belong to:
+// blocked receivers wake and panic with the cancellation value, and further
+// sends panic too. Idempotent. This is the teardown hook for runtimes whose
+// rank goroutines live outside Run — the embeddings remote tier's server
+// ranks loop forever serving rounds, and CancelGroup on their request groups
+// is how Close (or a peer failure) makes them exit.
+func CancelGroup(comms []*Comm) {
+	comms[0].g.cancel()
+}
+
+// IsCanceled reports whether a recovered panic value is the cancellation
+// cascade (a peer or CancelGroup poisoned the group) rather than an original
+// failure. Long-lived server loops use it to tell a clean shutdown from a
+// genuine panic.
+func IsCanceled(r any) bool { return r == errCanceled }
 
 // NewGroup creates a fresh instant-delivery group of the given size and
 // returns one Comm per rank. Groups are independent: SPTT builds a global
@@ -421,7 +438,7 @@ func (c *Comm) send(dst int, v any, nbytes int) {
 				panic(fmt.Sprintf("comm: negative p2p delay %v", delay))
 			}
 		}
-		v = timedMsg{v: v, readyNS: c.clock.ns + delay.Nanoseconds()}
+		v = timedMsg{v: v, readyNS: c.clock.ns.Load() + delay.Nanoseconds()}
 	}
 	c.g.mail[dst][c.rank].put(v)
 }
@@ -433,9 +450,9 @@ func (c *Comm) recv(src int) any {
 		// (the sender goroutine hadn't posted yet), not modeled transfer —
 		// the exposed cost is the virtual gap to the message's ready-time.
 		tm := v.(timedMsg)
-		if gap := tm.readyNS - c.clock.ns; gap > 0 {
+		if gap := tm.readyNS - c.clock.ns.Load(); gap > 0 {
 			c.exposedNS += gap
-			c.clock.ns = tm.readyNS
+			c.clock.ns.Store(tm.readyNS)
 		}
 		return tm.v
 	}

@@ -32,6 +32,7 @@ import (
 
 	"dmt/internal/comm"
 	"dmt/internal/data"
+	"dmt/internal/embeddings"
 	"dmt/internal/models"
 	"dmt/internal/netsim"
 	"dmt/internal/nn"
@@ -88,6 +89,22 @@ type Config struct {
 	// across runs. The trajectory itself is unchanged: delay moves time,
 	// never values.
 	Fabric *netsim.Fabric
+	// EmbeddingTier disaggregates the embedding tables onto dedicated
+	// server ranks. The zero value keeps them in-process (a LocalTier).
+	EmbeddingTier EmbeddingTier
+}
+
+// EmbeddingTier configures embedding disaggregation (DisaggRec-style memory
+// nodes reached over the fabric).
+type EmbeddingTier struct {
+	// Servers is the number of dedicated embedding-server ranks; 0 keeps
+	// the tables in-process. Server s joins the simulated network as global
+	// rank G+s on its own memory host and owns every table f with
+	// f % Servers == s, so all lookup/update traffic is cross-host.
+	Servers int
+	// CacheRows is each compute rank's hot-ID cache capacity in rows
+	// (write-back LRU in front of the wire); 0 disables caching.
+	CacheRows int
 }
 
 // Compression is the quantized-communication policy (§6 / the Strong
@@ -118,8 +135,11 @@ type Trainer struct {
 	modules  []sptt.TowerModule
 	// each rank's optimizer: identical state keeps replicas in lockstep.
 	denseOpts []*nn.Adam
-	sparseOpt *nn.SparseAdam
 	loss      []*nn.BCEWithLogits
+	// tier is the embedding backend: a LocalTier wrapping the engine's
+	// tables, or a RemoteTier of dedicated server ranks
+	// (Config.EmbeddingTier). Sparse optimizer state lives inside it.
+	tier embeddings.Tier
 
 	// world is the persistent global group the rank-parallel step uses for
 	// dense compute and the over-arch gradient AllReduce; its cumulative
@@ -222,6 +242,10 @@ type Stats struct {
 	// Sim is the simulated-latency component breakdown; zero unless the
 	// trainer runs with Config.Fabric.
 	Sim SimTimes
+	// Tier is the embedding tier's traffic: wire bytes, cache counters, and
+	// modeled exposed lookup/update time. Bytes are zero for the in-process
+	// LocalTier — lookups there are memory reads.
+	Tier embeddings.TierStats
 }
 
 // TowersInHostOrder converts a tower partition into the feature order the
@@ -258,7 +282,7 @@ func New(cfg Config) (*Trainer, error) {
 	}
 	cfg.Model.Towers = ordered
 
-	tr := &Trainer{cfg: cfg, sparseOpt: nn.NewSparseAdam(cfg.SparseLR)}
+	tr := &Trainer{cfg: cfg}
 	for g := 0; g < cfg.G; g++ {
 		m := models.NewDMTDLRM(cfg.Model)
 		tr.replicas = append(tr.replicas, m)
@@ -293,14 +317,13 @@ func New(cfg Config) (*Trainer, error) {
 	for f, e := range tr.replicas[0].Embs {
 		eng.Tables[f].Table.CopyFrom(e.Table)
 	}
-	// Prime every table's optimizer state so concurrent owner ranks never
-	// write the SparseAdam state map (see its concurrency contract).
-	for _, e := range eng.Tables {
-		tr.sparseOpt.Prime(e)
-	}
 	tr.engine = eng
 	if cfg.Fabric != nil {
-		tr.net = comm.NewNetwork(fabricLatency{f: cfg.Fabric, l: cfg.L}, cfg.G)
+		// The network spans the compute ranks plus the embedding-server
+		// ranks (each on its own memory host), so tier traffic is priced by
+		// the same fabric model as the training collectives.
+		tr.net = comm.NewNetwork(fabricLatency{f: cfg.Fabric, g: cfg.G, l: cfg.L},
+			cfg.G+cfg.EmbeddingTier.Servers)
 		elems := func(ps []*nn.Param) (n int64) {
 			for _, p := range ps {
 				n += int64(p.Value.Len())
@@ -317,6 +340,22 @@ func New(cfg Config) (*Trainer, error) {
 		tr.bottomBwd = 2 * tr.bottomFwd
 		tr.topBwd = 2 * tr.topFwd
 	}
+	// The embedding tier owns the canonical tables and their sparse
+	// optimizer state; the dataflow engine's step (b) lookups and the update
+	// phase both go through it.
+	if s := cfg.EmbeddingTier.Servers; s > 0 {
+		tr.tier = embeddings.NewRemote(embeddings.RemoteConfig{
+			Clients:   cfg.G,
+			Servers:   s,
+			Tables:    eng.Tables,
+			SparseLR:  cfg.SparseLR,
+			CacheRows: cfg.EmbeddingTier.CacheRows,
+			Net:       tr.net,
+		})
+	} else {
+		tr.tier = embeddings.NewLocalTier(eng.Tables, cfg.SparseLR)
+	}
+	eng.Tier = tr.tier
 	tr.world = comm.NewGroupNet(cfg.G, tr.net, nil)
 	tr.buckets = planBuckets(tr.replicas[0], cfg.BucketBytes)
 	if cfg.Compression.Gradient != quant.None {
@@ -348,19 +387,28 @@ func (tr *Trainer) Engine() *sptt.Engine { return tr.engine }
 func (tr *Trainer) Network() *comm.Network { return tr.net }
 
 // fabricLatency adapts netsim's point-to-point cost model to the comm
-// runtime: ranks are laid out Config.L per host, so a pair shares NVLink
-// iff they share a host index. The delay is a pure function of (src, dst,
-// bytes), which is what makes the virtual timeline reproducible.
+// runtime: compute ranks 0..G-1 are laid out Config.L per host, so a pair
+// shares NVLink iff they share a host index, and embedding-server ranks
+// G, G+1, ... each occupy their own memory host — every tier round is a
+// cross-host hop. The delay is a pure function of (src, dst, bytes), which
+// is what makes the virtual timeline reproducible.
 type fabricLatency struct {
-	f *netsim.Fabric
-	l int
+	f    *netsim.Fabric
+	g, l int
+}
+
+func (m fabricLatency) hostOf(r int) int {
+	if r < m.g {
+		return r / m.l
+	}
+	return m.g/m.l + (r - m.g)
 }
 
 func (m fabricLatency) P2PDelay(src, dst, nbytes int) time.Duration {
 	if src == dst {
 		return 0
 	}
-	return time.Duration(m.f.P2PTime(nbytes, src/m.l == dst/m.l) * float64(time.Second))
+	return time.Duration(m.f.P2PTime(nbytes, m.hostOf(src) == m.hostOf(dst)) * float64(time.Second))
 }
 
 // charge advances rank g's virtual clock by a modeled compute duration; a
@@ -404,8 +452,17 @@ func (tr *Trainer) Stats() Stats {
 	intra, cross := comm.SplitByHost(comm.TrafficMatrix(tr.world), tr.cfg.L)
 	s.GradIntraHostBytes = intra + int64(s.Steps)*tr.tmReduceBytes
 	s.GradCrossHostBytes = cross
+	s.Tier = tr.tier.Stats()
 	return s
 }
+
+// Tier exposes the embedding tier (test and diagnostics hook).
+func (tr *Trainer) Tier() embeddings.Tier { return tr.tier }
+
+// Close tears the trainer down: it stops the embedding tier's server
+// goroutines (a no-op for the in-process tier). The trainer must not be
+// stepped after Close.
+func (tr *Trainer) Close() { tr.tier.Close() }
 
 // StepResult summarizes one distributed step.
 type StepResult struct {
@@ -457,7 +514,7 @@ func (tr *Trainer) stepParallel(batches []*data.Batch, inputs []*sptt.Inputs) St
 	cfg := tr.cfg
 	lap := tr.phaseClock()
 	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules,
-		sptt.Options{CrossHost: cfg.Compression.Embedding, Net: tr.net})
+		sptt.Options{Comms: sptt.Comms{CrossHost: cfg.Compression.Embedding, Net: tr.net}})
 	embFwd := lap()
 
 	// Dense forward/backward, one goroutine per rank. Replicas, losses, and
@@ -606,18 +663,26 @@ func (tr *Trainer) scaleRank(g int, sparse map[int]*nn.SparseGrad, invG float32)
 }
 
 // updateRank runs rank g's update phase: dense optimizer over the over-arch
-// and its own tower module, plus owner-applied sparse updates on the
-// canonical tables (tables are disjoint across owners and the optimizer
-// state is primed). Common to the blocking and overlapped schedules.
+// and its own tower module, plus the owner's sparse updates through the
+// embedding tier. Common to the blocking and overlapped schedules.
 func (tr *Trainer) updateRank(g int, sparse map[int]*nn.SparseGrad) {
 	params := append(append([]*nn.Param(nil), tr.replicas[g].OverArchParams()...),
 		tr.modules[g].Params()...)
 	tr.denseOpts[g].Step(params)
+	tr.applySparse(g, sparse)
+}
+
+// applySparse ships rank g's owned sparse gradients through its tier store.
+// The Update is issued even when the rank owns nothing: remote stores count
+// one round per client per phase (round symmetry).
+func (tr *Trainer) applySparse(g int, sparse map[int]*nn.SparseGrad) {
+	var ups []embeddings.Upd
 	for _, f := range tr.engine.Cfg.OwnedFeatures(g) {
 		if sg := sparse[f]; sg != nil && len(sg.Rows) > 0 {
-			tr.sparseOpt.Step(tr.engine.Tables[f], sg)
+			ups = append(ups, embeddings.Upd{Table: f, Rows: sg.Rows, GradRows: sg.Grads})
 		}
 	}
+	tr.tier.Client(g).Update(ups)
 }
 
 // stepSequential is the single-goroutine reference: identical mathematics,
@@ -627,7 +692,7 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 	cfg := tr.cfg
 	lap := tr.phaseClock()
 	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules,
-		sptt.Options{CrossHost: cfg.Compression.Embedding, Net: tr.net})
+		sptt.Options{Comms: sptt.Comms{CrossHost: cfg.Compression.Embedding, Net: tr.net}})
 	embFwd := lap()
 
 	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
@@ -697,10 +762,11 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 		params := append(append([]*nn.Param(nil), overArch[g]...), tr.modules[g].Params()...)
 		tr.denseOpts[g].Step(params)
 	}
-	for f, sg := range sparse {
-		if len(sg.Rows) > 0 {
-			tr.sparseOpt.Step(tr.engine.Tables[f], sg)
-		}
+	// Sparse updates go through the tier in ascending rank order — the
+	// fixed schedule a remote tier's servers round-robin on (and, per
+	// table, the same optimizer math the owner-rank engine applies).
+	for g := 0; g < cfg.G; g++ {
+		tr.applySparse(g, sparse)
 	}
 	update := lap()
 

@@ -99,15 +99,13 @@ func (tr *Trainer) stepOverlapped(batches []*data.Batch, inputs []*sptt.Inputs) 
 	// time — the mechanism the schedule's exposed-comm reduction rests on.
 	denseEmb := make([]*tensor.Tensor, cfg.G)
 	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{
-		CrossHost: cfg.Compression.Embedding,
-		Net:       tr.net,
-		Overlap: func(g int) {
+		Comms: sptt.NewComms(cfg.Compression.Embedding, func(g int) {
 			for _, p := range tr.replicas[g].DenseParams() {
 				p.ZeroGrad()
 			}
 			denseEmb[g] = tr.replicas[g].ForwardBottom(batches[g].Dense)
 			tr.charge(g, tr.bottomFwd)
-		},
+		}, tr.net),
 	})
 	embFwd := lap()
 

@@ -1,0 +1,227 @@
+package embeddings
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// add accumulates another snapshot (used to merge shards).
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+}
+
+// ShardedLRU is a fixed-capacity LRU cache of float32 vectors keyed by
+// uint64, split into independently locked shards so concurrent serving
+// workers do not serialize on one mutex. Values are treated as immutable by
+// contract: callers must not modify a slice after Put or mutate one
+// returned by Get.
+type ShardedLRU struct {
+	shards []*lruShard
+	mask   uint64
+}
+
+type lruShard struct {
+	mu                      sync.Mutex
+	capacity                int
+	ll                      *list.List // front = most recent
+	items                   map[uint64]*list.Element
+	hits, misses, evictions uint64
+}
+
+type lruEntry struct {
+	key uint64
+	val []float32
+}
+
+// NewShardedLRU builds a cache holding up to capacity entries, spread over
+// shards (rounded up to a power of two; at least one entry per shard).
+// Per-shard capacity rounds up, so the true limit can exceed capacity by up
+// to shards-1 entries. A capacity of zero or less yields a nil cache, on
+// which Get and Put are no-ops — callers can disable caching without
+// branching.
+func NewShardedLRU(capacity, shards int) *ShardedLRU {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	pow := 1
+	for pow < shards {
+		pow <<= 1
+	}
+	if pow > capacity {
+		pow = 1
+		for pow*2 <= capacity {
+			pow <<= 1
+		}
+	}
+	c := &ShardedLRU{shards: make([]*lruShard, pow), mask: uint64(pow - 1)}
+	per := (capacity + pow - 1) / pow
+	for i := range c.shards {
+		c.shards[i] = &lruShard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[uint64]*list.Element, per),
+		}
+	}
+	return c
+}
+
+// splitmix finalizer decorrelates the shard selector from the low key bits,
+// which the per-table/per-tower namespacing already perturbs.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (c *ShardedLRU) shard(key uint64) *lruShard {
+	return c.shards[mix64(key)&c.mask]
+}
+
+// Get returns the cached vector for key, marking it most recently used.
+func (c *ShardedLRU) Get(key uint64) ([]float32, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		sh.ll.MoveToFront(el)
+		sh.hits++
+		return el.Value.(*lruEntry).val, true
+	}
+	sh.misses++
+	return nil, false
+}
+
+// Put inserts or refreshes key, evicting the shard's least recently used
+// entry when full.
+func (c *ShardedLRU) Put(key uint64, val []float32) {
+	if c == nil {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.items[key] = sh.ll.PushFront(&lruEntry{key: key, val: val})
+	if sh.ll.Len() > sh.capacity {
+		oldest := sh.ll.Back()
+		sh.ll.Remove(oldest)
+		delete(sh.items, oldest.Value.(*lruEntry).key)
+		sh.evictions++
+	}
+}
+
+// Len returns the current number of entries across shards.
+func (c *ShardedLRU) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats merges the shard counters.
+func (c *ShardedLRU) Stats() CacheStats {
+	var out CacheStats
+	if c == nil {
+		return out
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		out.add(CacheStats{Hits: sh.hits, Misses: sh.misses, Evictions: sh.evictions, Entries: sh.ll.Len()})
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// NsKey folds a namespace (table or tower index) into a key so one LRU can
+// back every table without cross-table collisions.
+func NsKey(ns int, key uint64) uint64 {
+	return mix64(uint64(ns)*0x9e3779b97f4a7c15 ^ key)
+}
+
+// Keyed wraps a ShardedLRU with namespaced vector access — the shape both
+// serving caches (pooled bags per table, tower outputs per tower) and the
+// training-side hot-ID cache share. It satisfies models.VecCache
+// structurally. A nil *Keyed (capacity <= 0) disables caching: Get misses,
+// Put is a no-op, Stats is zero.
+type Keyed struct {
+	lru *ShardedLRU
+}
+
+// NewKeyed builds a namespaced cache of up to capacity vectors over the
+// given shard count; capacity <= 0 yields nil (caching disabled).
+func NewKeyed(capacity, shards int) *Keyed {
+	lru := NewShardedLRU(capacity, shards)
+	if lru == nil {
+		return nil
+	}
+	return &Keyed{lru: lru}
+}
+
+// GetVec returns the cached vector under (ns, key).
+func (k *Keyed) GetVec(ns int, key uint64) ([]float32, bool) {
+	if k == nil {
+		return nil, false
+	}
+	return k.lru.Get(NsKey(ns, key))
+}
+
+// PutVec caches v under (ns, key). v must not be mutated afterwards.
+func (k *Keyed) PutVec(ns int, key uint64, v []float32) {
+	if k == nil {
+		return
+	}
+	k.lru.Put(NsKey(ns, key), v)
+}
+
+// Stats merges the underlying shard counters; zero for a nil cache.
+func (k *Keyed) Stats() CacheStats {
+	if k == nil {
+		return CacheStats{}
+	}
+	return k.lru.Stats()
+}
+
+// Len returns the entry count; zero for a nil cache.
+func (k *Keyed) Len() int {
+	if k == nil {
+		return 0
+	}
+	return k.lru.Len()
+}

@@ -1,0 +1,119 @@
+package embeddings
+
+import "dmt/internal/tensor"
+
+// CachedStore is a write-back hot-ID cache in front of another Store — the
+// training-side generalization of the serving LRU. Lookup serves hot rows
+// from the LRU and fetches only the deduplicated misses from the inner
+// store; Update forwards the gradient and re-caches the refreshed rows the
+// inner store returns, so the cache stays warm through training (every
+// looked-up row is updated every step — invalidation would never hit).
+//
+// Coherence rides the Store ownership contract: a table's rows only ever
+// flow through its single owner rank's cache, so there is no cross-cache
+// invalidation problem to solve.
+type CachedStore struct {
+	inner Store
+	lru   *ShardedLRU
+}
+
+// Cached wraps inner with a hot-ID cache of up to rows entries. rows <= 0
+// returns inner unchanged (caching disabled).
+func Cached(inner Store, rows int) Store {
+	lru := NewShardedLRU(rows, 8)
+	if lru == nil {
+		return inner
+	}
+	return &CachedStore{inner: inner, lru: lru}
+}
+
+// StatsOf returns the LRU counters of a store built by Cached; a plain
+// (uncached) Store yields zeros.
+func StatsOf(s Store) CacheStats {
+	if c, ok := s.(*CachedStore); ok {
+		return c.lru.Stats()
+	}
+	return CacheStats{}
+}
+
+// Dim returns the inner store's dimension.
+func (c *CachedStore) Dim() int { return c.inner.Dim() }
+
+// Lookup fills each request from the cache where possible and fetches the
+// deduplicated misses from the inner store. The inner Lookup is issued
+// unconditionally — even with zero misses — preserving the round symmetry
+// remote stores require.
+func (c *CachedStore) Lookup(reqs []Req) []*tensor.Tensor {
+	dim := c.inner.Dim()
+	hit := make([][][]float32, len(reqs)) // per req, per id: cached row or nil
+	missReqs := make([]Req, len(reqs))
+	// missAt[i][k] is the position of reqs[i].IDs[k]'s row within the miss
+	// response for request i (ids deduplicated within a request).
+	missAt := make([][]int, len(reqs))
+	for i, r := range reqs {
+		hit[i] = make([][]float32, len(r.IDs))
+		missAt[i] = make([]int, len(r.IDs))
+		missReqs[i] = Req{Table: r.Table}
+		pos := make(map[int32]int, len(r.IDs))
+		for k, id := range r.IDs {
+			if v, ok := c.lru.Get(NsKey(r.Table, uint64(id))); ok {
+				hit[i][k] = v
+				missAt[i][k] = -1
+				continue
+			}
+			p, dup := pos[id]
+			if !dup {
+				p = len(missReqs[i].IDs)
+				pos[id] = p
+				missReqs[i].IDs = append(missReqs[i].IDs, id)
+			}
+			missAt[i][k] = p
+		}
+	}
+
+	fetched := c.inner.Lookup(missReqs)
+
+	out := make([]*tensor.Tensor, len(reqs))
+	for i, r := range reqs {
+		rows := tensor.New(len(r.IDs), dim)
+		for k := range r.IDs {
+			if v := hit[i][k]; v != nil {
+				copy(rows.Row(k), v)
+				continue
+			}
+			copy(rows.Row(k), fetched[i].Row(missAt[i][k]))
+		}
+		// Cache the fetched rows (one Put per distinct missed id). The
+		// cached slice must not alias the returned tensor — callers may
+		// pool in place — so copy out of the fetch response instead.
+		for id, p := range missPositions(missReqs[i]) {
+			v := make([]float32, dim)
+			copy(v, fetched[i].Row(p))
+			c.lru.Put(NsKey(r.Table, uint64(id)), v)
+		}
+		out[i] = rows
+	}
+	return out
+}
+
+func missPositions(r Req) map[int32]int {
+	m := make(map[int32]int, len(r.IDs))
+	for p, id := range r.IDs {
+		m[id] = p
+	}
+	return m
+}
+
+// Update forwards to the inner store and write-backs the refreshed rows.
+func (c *CachedStore) Update(ups []Upd) []*tensor.Tensor {
+	fresh := c.inner.Update(ups)
+	dim := c.inner.Dim()
+	for i, u := range ups {
+		for j, row := range u.Rows {
+			v := make([]float32, dim)
+			copy(v, fresh[i].Row(j))
+			c.lru.Put(NsKey(u.Table, uint64(row)), v)
+		}
+	}
+	return fresh
+}

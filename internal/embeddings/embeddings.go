@@ -1,0 +1,100 @@
+// Package embeddings is the repo's single embedding backend: every model-side
+// consumer of embedding rows — the SPTT dataflow's step (b) lookup, the
+// distributed trainer's sparse update, the serving caches — goes through one
+// redesigned Store API instead of touching nn.EmbeddingBag tables directly.
+//
+// A Store answers batched row traffic for the tables its client is allowed to
+// reach (per-table ownership stays with the caller's placement, exactly as
+// before). Two implementations exist:
+//
+//   - Local wraps the in-process tables. It is a pure reroute: the rows it
+//     returns are bitwise copies of the table rows, so trainer trajectories
+//     are bit-identical to the pre-refactor direct-access code.
+//   - Remote (see remote.go) disaggregates the tables onto dedicated
+//     embedding-server ranks, DisaggRec-style: lookups and updates become
+//     request/response rounds over comm collectives priced by the fabric's
+//     P2P cost model, and compute ranks keep a write-back hot-ID cache
+//     (Cached, generalizing the serving LRU) in front of the wire.
+//
+// Both implement the same Store and are built through a Tier, the per-job
+// handle the distributed trainer owns.
+package embeddings
+
+import (
+	"time"
+
+	"dmt/internal/tensor"
+)
+
+// Req asks for the embedding rows of one table: IDs are row indices, in
+// caller order, duplicates allowed. The response tensor has one row per ID,
+// in the same order.
+type Req struct {
+	Table int
+	IDs   []int32
+}
+
+// Upd applies one table's coalesced sparse gradient. Rows must be sorted
+// ascending (the nn.SparseGrad contract). GradRows[i] is the gradient for
+// Rows[i]; both have one entry per touched row.
+type Upd struct {
+	Table    int
+	Rows     []int
+	GradRows *tensor.Tensor // (len(Rows), dim)
+}
+
+// Store is the redesigned embedding backend API. Lookup returns one
+// (len(IDs), dim) tensor per request; Update applies optimizer steps and
+// returns the POST-update rows, one (len(Rows), dim) tensor per update —
+// the write-back hook that lets a caching decorator refresh instead of
+// invalidate (every looked-up row is updated every training step, so
+// invalidation would never hit).
+//
+// Ownership contract: each table has exactly one client rank that looks it
+// up and updates it (the trainer's per-table owner rank). Implementations
+// rely on it — it is what makes per-client caches trivially coherent and
+// server-side request interleaving value-irrelevant.
+//
+// Round symmetry contract (remote stores): every client must call Lookup
+// once per lookup phase and Update once per update phase even when it owns
+// no tables or has no traffic — empty requests still complete the round the
+// servers are counting on. Local stores don't care.
+type Store interface {
+	// Dim returns the embedding dimension shared by every table.
+	Dim() int
+	Lookup(reqs []Req) []*tensor.Tensor
+	Update(ups []Upd) []*tensor.Tensor
+}
+
+// Tier builds and owns the per-rank stores of one training job.
+type Tier interface {
+	// Client returns compute rank g's store. Stable across calls: per-rank
+	// caches live in the store, so callers must reuse the same handle.
+	Client(rank int) Store
+	Stats() TierStats
+	// Close tears the tier down (stops remote server goroutines). Safe to
+	// call more than once. No Store method may be called after Close.
+	Close()
+}
+
+// TierStats aggregates the tier's traffic over all clients. Byte counters
+// and exposure cover only the disaggregated wire (zero for a Local tier —
+// its lookups are memory reads, exactly the asymmetry the memory:compute
+// sweep measures).
+type TierStats struct {
+	// Lookups / Updates count store calls (per client, per phase).
+	Lookups int64
+	Updates int64
+	// Hot-ID cache counters summed over the clients' Cached decorators.
+	CacheHits   uint64
+	CacheMisses uint64
+	// Cross-host wire bytes of the request/response rounds, split by kind.
+	// Embedding servers sit on their own memory hosts, so all tier traffic
+	// is cross-host by construction.
+	LookupCrossBytes int64
+	UpdateCrossBytes int64
+	// Modeled virtual-clock time clients spent blocked on server responses
+	// (summed over clients; deterministic under a simulated network).
+	LookupExposed time.Duration
+	UpdateExposed time.Duration
+}

@@ -1,0 +1,226 @@
+package embeddings
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dmt/internal/comm"
+	"dmt/internal/nn"
+	"dmt/internal/tensor"
+)
+
+// makeTables builds nTables deterministic tables of rows x dim.
+func makeTables(nTables, rows, dim int, seed uint64) []*nn.EmbeddingBag {
+	rng := tensor.NewRNG(seed)
+	out := make([]*nn.EmbeddingBag, nTables)
+	for f := range out {
+		out[f] = nn.NewEmbeddingBag(rng, rows, dim, nn.PoolSum, fmt.Sprintf("emb%d", f))
+	}
+	return out
+}
+
+// gradFor builds a deterministic (len(rows), dim) gradient tensor.
+func gradFor(rows []int, dim int, salt float32) *tensor.Tensor {
+	g := tensor.New(len(rows), dim)
+	for i, r := range rows {
+		for j := 0; j < dim; j++ {
+			g.Row(i)[j] = salt * float32(r+1) / float32(j+2)
+		}
+	}
+	return g
+}
+
+// TestRemoteMatchesLocal drives a Local tier and a Remote tier (2 clients,
+// 2 servers, instant wires) through identical lookup/update phases over
+// identically seeded tables. Every returned row must match bitwise — the
+// wire protocol moves rows, it never changes them — and the remote tier
+// must account nonzero lookup and update wire bytes.
+func TestRemoteMatchesLocal(t *testing.T) {
+	const (
+		nTables = 4
+		rows    = 16
+		dim     = 8
+		lr      = 0.01
+	)
+	local := NewLocalTier(makeTables(nTables, rows, dim, 42), lr)
+	remote := NewRemote(RemoteConfig{
+		Clients: 2, Servers: 2,
+		Tables:   makeTables(nTables, rows, dim, 42),
+		SparseLR: lr,
+	})
+	defer remote.Close()
+	// Fix the per-table single-owner contract: client 0 owns tables 0 and 1,
+	// client 1 owns tables 2 and 3.
+	owned := [][]int{{0, 1}, {2, 3}}
+
+	for iter := 0; iter < 3; iter++ {
+		// Lookup phase, clients in ascending order (the servers' round-robin
+		// schedule). Duplicate IDs exercise response reassembly.
+		got := make([][]*tensor.Tensor, 2)
+		want := make([][]*tensor.Tensor, 2)
+		for c := 0; c < 2; c++ {
+			var reqs []Req
+			for _, f := range owned[c] {
+				ids := []int32{int32((f + iter) % rows), 3, 3, int32(rows - 1)}
+				reqs = append(reqs, Req{Table: f, IDs: ids})
+			}
+			got[c] = remote.Client(c).Lookup(reqs)
+			want[c] = local.Client(c).Lookup(reqs)
+		}
+		for c := 0; c < 2; c++ {
+			for i := range got[c] {
+				if !got[c][i].Equal(want[c][i]) {
+					t.Fatalf("iter %d client %d req %d: remote lookup diverged from local", iter, c, i)
+				}
+			}
+		}
+
+		// Update phase, same order. Returned post-update rows must agree too
+		// (they are what the write-back cache would absorb).
+		for c := 0; c < 2; c++ {
+			var ups []Upd
+			for _, f := range owned[c] {
+				rws := []int{(f + iter) % rows, 3, rows - 1}
+				ups = append(ups, Upd{Table: f, Rows: rws, GradRows: gradFor(rws, dim, float32(iter+1))})
+			}
+			gotF := remote.Client(c).Update(ups)
+			wantF := local.Client(c).Update(ups)
+			for i := range gotF {
+				if !gotF[i].Equal(wantF[i]) {
+					t.Fatalf("iter %d client %d upd %d: remote post-update rows diverged from local", iter, c, i)
+				}
+			}
+		}
+	}
+
+	st := remote.Stats()
+	if st.LookupCrossBytes == 0 || st.UpdateCrossBytes == 0 {
+		t.Fatalf("remote tier accounted no wire bytes: %+v", st)
+	}
+	if st.Lookups == 0 || st.Updates == 0 {
+		t.Fatalf("remote tier accounted no rounds: %+v", st)
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatalf("healthy tier reports error: %v", err)
+	}
+}
+
+// TestCachedWriteBackConcurrent is the -race hammer: several owner
+// goroutines banging on ONE shared Cached store over disjoint tables —
+// concurrent Lookup, Update, and write-back refresh through the sharded
+// LRU. Values must stay exact: after every update the next lookup (a cache
+// hit) must return the same rows the inner store holds.
+func TestCachedWriteBackConcurrent(t *testing.T) {
+	const (
+		owners = 4
+		rows   = 32
+		dim    = 4
+		iters  = 200
+	)
+	tables := makeTables(owners, rows, dim, 7)
+	inner := NewLocal(tables, 0.01)
+	store := Cached(inner, owners*rows)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, owners)
+	for c := 0; c < owners; c++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ids := []int32{int32(i % rows), int32((i + 1) % rows), int32(i % rows)}
+				store.Lookup([]Req{{Table: f, IDs: ids}})
+				rws := []int{i % rows, (i + 7) % rows}
+				if rws[0] > rws[1] {
+					rws[0], rws[1] = rws[1], rws[0]
+				} else if rws[0] == rws[1] {
+					continue
+				}
+				fresh := store.Update([]Upd{{Table: f, Rows: rws, GradRows: gradFor(rws, dim, 0.5)}})
+				// The write-back refresh makes the next lookup a hit; it must
+				// serve exactly the rows the update returned.
+				again := store.Lookup([]Req{{Table: f, IDs: []int32{int32(rws[0]), int32(rws[1])}}})
+				for j := range rws {
+					for k := 0; k < dim; k++ {
+						if again[0].Row(j)[k] != fresh[0].Row(j)[k] {
+							errs <- fmt.Errorf("table %d iter %d: cached row diverged from write-back", f, i)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cs := StatsOf(store); cs.Hits == 0 {
+		t.Fatalf("hammer produced no cache hits: %+v", cs)
+	}
+}
+
+// TestCachedDisabled: rows<=0 must return the inner store unchanged.
+func TestCachedDisabled(t *testing.T) {
+	inner := NewLocal(makeTables(1, 4, 2, 1), 0.01)
+	if s := Cached(inner, 0); s != Store(inner) {
+		t.Fatal("Cached(inner, 0) wrapped instead of returning inner")
+	}
+	if cs := StatsOf(inner); cs != (CacheStats{}) {
+		t.Fatalf("StatsOf on an uncached store: %+v", cs)
+	}
+}
+
+// TestServerPanicCancelsComputeGroups is the teardown-cascade regression
+// for the server-rank topology: an embedding server panicking mid-Run (an
+// out-of-range row id) must cancel the pair groups, which aborts the
+// client blocked on the response INSIDE a compute-group comm.Run, which in
+// turn cancels the compute group so sibling ranks blocked on compute
+// collectives wake up — nobody deadlocks.
+func TestServerPanicCancelsComputeGroups(t *testing.T) {
+	tier := NewRemote(RemoteConfig{
+		Clients: 2, Servers: 1,
+		Tables:   makeTables(2, 8, 4, 3),
+		SparseLR: 0.01,
+	})
+	compute := comm.NewGroup(2)
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		comm.Run(compute, func(c *comm.Comm) {
+			if c.Rank() == 0 {
+				// Row id 8 is out of range for an 8-row table: the server's
+				// gather panics, RunLinked cancels every pair group, and this
+				// client's blocked response receive aborts.
+				tier.Client(0).Lookup([]Req{{Table: 0, IDs: []int32{8}}})
+			}
+			// Rank 1 blocks on a compute collective the dying rank will never
+			// join; only the cancellation cascade can free it.
+			compute[c.Rank()].Barrier()
+		})
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("compute Run returned cleanly despite the server panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "canceled") {
+			t.Fatalf("compute Run panic should report cancellation: %v", r)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("compute group deadlocked after the server panic")
+	}
+	deadline := time.After(10 * time.Second)
+	for tier.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("tier never recorded the server failure")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	tier.Close() // must not hang after the crash
+}

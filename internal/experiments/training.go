@@ -41,6 +41,12 @@ type TrainingProfile struct {
 	// times and the exposed/hidden columns become deterministic virtual-
 	// clock quantities (the Figure 13 measurement).
 	Fabric *netsim.Fabric
+	// EmbServers disaggregates the embedding tables onto this many dedicated
+	// server ranks (distributed.EmbeddingTier); 0 keeps them in-process.
+	EmbServers int
+	// EmbCacheRows sizes each compute rank's write-back hot-ID cache when
+	// the tier is remote; 0 disables caching.
+	EmbCacheRows int
 }
 
 // SmokeTraining keeps the test suite fast.
@@ -110,6 +116,10 @@ func NewTrainer(p TrainingProfile, sequential bool) (*distributed.Trainer, *data
 			Embedding: p.Compress,
 		},
 		Fabric: p.Fabric,
+		EmbeddingTier: distributed.EmbeddingTier{
+			Servers:   p.EmbServers,
+			CacheRows: p.EmbCacheRows,
+		},
 	}
 	tr, err := distributed.New(cfg)
 	return tr, gen, err

@@ -12,9 +12,9 @@ import (
 // answer many concurrent requests (package serve). Two memoization hooks
 // exploit request skew:
 //
-//   - BagCache memoizes pooled embedding-bag lookups per (table, bag ids) —
-//     applicable to any model.
-//   - TowerCache memoizes per-tower derived features per (tower, bag ids of
+//   - Embeddings memoizes pooled embedding-bag lookups per (table, bag ids)
+//     — applicable to any model.
+//   - Towers memoizes per-tower derived features per (tower, bag ids of
 //     the tower's features) — a DMT-only win: because a tower module reads
 //     nothing outside its own feature group, its output for a repeated
 //     feature-group value is reusable across requests, whereas a monolithic
@@ -24,23 +24,27 @@ import (
 // Cached values are treated as immutable by both sides: Predict copies on
 // read and stores fresh copies on write.
 
-// BagCache memoizes pooled embedding lookups keyed on (table, ids-hash).
-type BagCache interface {
-	GetBag(table int, key uint64) ([]float32, bool)
-	PutBag(table int, key uint64, v []float32)
+// VecCache memoizes float32 vectors under a (namespace, key) pair — the one
+// shape both serving caches share (namespace = table index for pooled bags,
+// tower index for tower outputs). embeddings.Keyed satisfies it.
+type VecCache interface {
+	GetVec(ns int, key uint64) ([]float32, bool)
+	PutVec(ns int, key uint64, v []float32)
 }
 
-// TowerCache memoizes per-tower module outputs keyed on (tower, ids-hash).
-type TowerCache interface {
-	GetTower(tower int, key uint64) ([]float32, bool)
-	PutTower(tower int, key uint64, v []float32)
-}
+// BagCache is a deprecated alias for VecCache: the bag- and tower-specific
+// cache interfaces collapsed into one vector cache when the embeddings
+// package became the single backend. Kept for one release.
+type BagCache = VecCache
+
+// TowerCache is a deprecated alias for VecCache (see BagCache).
+type TowerCache = VecCache
 
 // PredictOptions configures a Predict call. The zero value disables all
 // caching and is always valid.
 type PredictOptions struct {
-	Embeddings BagCache
-	Towers     TowerCache // consulted by DMT models only
+	Embeddings VecCache // keyed by table
+	Towers     VecCache // keyed by tower; consulted by DMT models only
 }
 
 // Predictor is the serving-side model interface: a read-only forward pass
@@ -82,23 +86,23 @@ func bagOf(b *data.Batch, f, s int) []int32 {
 
 // pooledBagInto fills dst (zeroed, length Dim) with the pooled lookup of one
 // bag, going through the cache when present.
-func pooledBagInto(dst []float32, e *nn.EmbeddingBag, table int, bag []int32, cache BagCache) {
+func pooledBagInto(dst []float32, e *nn.EmbeddingBag, table int, bag []int32, cache VecCache) {
 	if cache == nil {
 		e.PoolBagInto(dst, bag)
 		return
 	}
 	key := hashBag(fnvOffset, bag)
-	if v, ok := cache.GetBag(table, key); ok {
+	if v, ok := cache.GetVec(table, key); ok {
 		copy(dst, v)
 		return
 	}
 	e.PoolBagInto(dst, bag)
-	cache.PutBag(table, key, append([]float32(nil), dst...))
+	cache.PutVec(table, key, append([]float32(nil), dst...))
 }
 
 // lookupPooled is the inference counterpart of embedAll: every feature's
 // pooled lookup for a batch, returning (B, F, N), read-only on the tables.
-func lookupPooled(embs []*nn.EmbeddingBag, b *data.Batch, cache BagCache) *tensor.Tensor {
+func lookupPooled(embs []*nn.EmbeddingBag, b *data.Batch, cache VecCache) *tensor.Tensor {
 	f := len(embs)
 	n := embs[0].Dim
 	out := tensor.New(b.Size, f, n)
@@ -140,7 +144,7 @@ func cachedTowerForward(embs []*nn.EmbeddingBag, tower int, feats []int, b *data
 			for _, f := range feats {
 				h = hashBag(h, bagOf(b, f, s))
 			}
-			if v, ok := opt.Towers.GetTower(tower, h); ok {
+			if v, ok := opt.Towers.GetVec(tower, h); ok {
 				copy(out.Row(s), v)
 				slot[s] = -1
 				continue
@@ -174,7 +178,7 @@ func cachedTowerForward(embs []*nn.EmbeddingBag, tower int, feats []int, b *data
 		}
 	}
 	for mi, key := range missKey {
-		opt.Towers.PutTower(tower, key, append([]float32(nil), y.Row(mi)...))
+		opt.Towers.PutVec(tower, key, append([]float32(nil), y.Row(mi)...))
 	}
 	return out
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dmt/internal/data"
+	"dmt/internal/embeddings"
 	"dmt/internal/models"
 	"dmt/internal/tensor"
 )
@@ -93,8 +94,8 @@ type Server struct {
 	model  models.Predictor
 	schema data.Schema
 	opt    models.PredictOptions
-	emb    *ShardedLRU
-	tower  *ShardedLRU
+	emb    *embeddings.Keyed
+	tower  *embeddings.Keyed
 
 	work chan []request
 
@@ -133,15 +134,15 @@ func NewServer(model models.Predictor, cfg Config) *Server {
 		cfg:    cfg,
 		model:  model,
 		schema: model.Schema(),
-		emb:    NewShardedLRU(cfg.EmbCacheEntries, cfg.CacheShards),
-		tower:  NewShardedLRU(cfg.TowerCacheEntries, cfg.CacheShards),
+		emb:    embeddings.NewKeyed(cfg.EmbCacheEntries, cfg.CacheShards),
+		tower:  embeddings.NewKeyed(cfg.TowerCacheEntries, cfg.CacheShards),
 		work:   make(chan []request, cfg.Workers),
 	}
 	if s.emb != nil {
-		s.opt.Embeddings = bagCache{s.emb}
+		s.opt.Embeddings = s.emb
 	}
 	if s.tower != nil {
-		s.opt.Towers = towerCache{s.tower}
+		s.opt.Towers = s.tower
 	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {

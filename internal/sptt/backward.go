@@ -21,7 +21,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 	if len(dOuts) != cfg.G {
 		panic(fmt.Sprintf("sptt: %d gradients for %d ranks", len(dOuts), cfg.G))
 	}
-	gs := newGroupSet(cfg.G, cfg.L, st.net)
+	gs := newGroupSet(cfg.G, cfg.L, st.comms.Net)
 	perm := PeerOrder(cfg.G, cfg.L)
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 	grads := make([]map[int]*nn.SparseGrad, cfg.G)
@@ -50,7 +50,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 				}
 				pchunks[t] = blk
 			}
-			pg := peerC.AlltoAllTensorsQ(st.crossHost, pchunks)
+			pg := peerC.AlltoAllTensorsQ(st.comms.CrossHost, pchunks)
 			dShuffled = tensor.New(T, ft, B*N)
 			for p := 0; p < T; p++ {
 				copy(dShuffled.Data()[p*ft*B*N:(p+1)*ft*B*N], pg[p].Data())
@@ -67,7 +67,7 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 			for t := 0; t < T; t++ {
 				pchunks[t] = parts[t]
 			}
-			pg := peerC.AlltoAllTensorsQ(st.crossHost, pchunks)
+			pg := peerC.AlltoAllTensorsQ(st.comms.CrossHost, pchunks)
 			oT := mod.OutDim()
 			dCompressed := tensor.New(T*B, oT)
 			for p := 0; p < T; p++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dmt/internal/comm"
+	"dmt/internal/embeddings"
 	"dmt/internal/nn"
 	"dmt/internal/tensor"
 )
@@ -15,6 +16,12 @@ import (
 type Engine struct {
 	Cfg    Config
 	Tables []*nn.EmbeddingBag // indexed by feature
+	// Tier is the embedding backend every step (b) lookup goes through.
+	// NewEngine installs an in-process LocalTier over Tables (bitwise
+	// identical to direct table access); the distributed trainer swaps in
+	// its own tier — a LocalTier carrying the training learning rate, or a
+	// RemoteTier whose lookups travel the simulated fabric.
+	Tier embeddings.Tier
 }
 
 // NewEngine builds deterministic tables for the configuration.
@@ -28,6 +35,7 @@ func NewEngine(cfg Config, seed uint64) (*Engine, error) {
 		e.Tables = append(e.Tables,
 			nn.NewEmbeddingBag(r.Split(uint64(f)+1), spec.Cardinality, cfg.N, spec.Mode, spec.Name))
 	}
+	e.Tier = embeddings.NewLocalTier(e.Tables, 0)
 	return e, nil
 }
 
@@ -84,7 +92,7 @@ func (e *Engine) distributeAndLookup(c *comm.Comm, in *Inputs, order []int) (*ra
 		return order[pos]
 	}
 
-	pooled := make([]*tensor.Tensor, len(owned))
+	reqs := make([]embeddings.Req, len(owned))
 	for i, f := range owned {
 		// Assemble the global batch for feature f, blocks in `order`.
 		var gIdx []int32
@@ -101,7 +109,16 @@ func (e *Engine) distributeAndLookup(c *comm.Comm, in *Inputs, order []int) (*ra
 		}
 		st.indices = append(st.indices, gIdx)
 		st.offsets = append(st.offsets, gOff)
-		pooled[i] = poolLookup(e.Tables[f].Table, cfg.Features[f].Mode, gIdx, gOff, cfg.N)
+		reqs[i] = embeddings.Req{Table: f, IDs: gIdx}
+	}
+
+	// Step (b) through the embedding tier. The Lookup is issued even with
+	// zero owned features: remote stores count one round per client per
+	// phase (round symmetry), and an owner-less rank still participates.
+	rows := e.Tier.Client(c.Rank()).Lookup(reqs)
+	pooled := make([]*tensor.Tensor, len(owned))
+	for i, f := range owned {
+		pooled[i] = poolRows(rows[i], cfg.Features[f].Mode, st.offsets[i], cfg.N)
 	}
 	return st, pooled
 }

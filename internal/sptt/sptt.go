@@ -230,15 +230,18 @@ func decodeBags(payload []int32, nFeatures, b int) (indices [][]int32, offsets [
 	return indices, offsets
 }
 
-// poolLookup performs a pure (non-caching) pooled lookup on a table — the
-// step (b) kernel. Unlike nn.EmbeddingBag.Forward it mutates nothing, so
-// concurrent ranks can share table storage for read.
-func poolLookup(table *tensor.Tensor, mode nn.PoolMode, indices, offsets []int32, dim int) *tensor.Tensor {
+// poolRows performs the pure step (b) pooling kernel over pre-gathered
+// embedding rows: rows.Row(p) is the embedding of bag position p (the
+// embeddings.Store response for the flat index list the offsets describe).
+// The float additions run in exactly the order the former direct-table
+// kernel used, so pooling store-gathered rows is bitwise identical to
+// pooling table rows in place.
+func poolRows(rows *tensor.Tensor, mode nn.PoolMode, offsets []int32, dim int) *tensor.Tensor {
 	b := len(offsets)
 	out := tensor.New(b, dim)
 	for s := 0; s < b; s++ {
 		lo := int(offsets[s])
-		hi := len(indices)
+		hi := rows.Dim(0)
 		if s+1 < b {
 			hi = int(offsets[s+1])
 		}
@@ -246,8 +249,8 @@ func poolLookup(table *tensor.Tensor, mode nn.PoolMode, indices, offsets []int32
 			continue
 		}
 		dst := out.Row(s)
-		for _, ix := range indices[lo:hi] {
-			src := table.Row(int(ix))
+		for p := lo; p < hi; p++ {
+			src := rows.Row(p)
 			for d := 0; d < dim; d++ {
 				dst[d] += src[d]
 			}

@@ -471,7 +471,7 @@ func TestOverlapHookBitwiseNeutral(t *testing.T) {
 	plain, _ := eng.SPTTForward(inputs, Options{})
 
 	calls := make([]int, cfg.G)
-	hooked, st := eng.SPTTForward(inputs, Options{Overlap: func(rank int) { calls[rank]++ }})
+	hooked, st := eng.SPTTForward(inputs, Options{Comms: Comms{Overlap: func(rank int) { calls[rank]++ }}})
 	for g := 0; g < cfg.G; g++ {
 		if calls[g] != 1 {
 			t.Fatalf("rank %d: overlap hook ran %d times, want 1", g, calls[g])

@@ -133,14 +133,10 @@ func (gs *groupSet) fold() (globalM, hostM, peerM [][]int64) {
 type SPTTState struct {
 	lookups []*rankLookupState
 	modules []TowerModule // per rank; nil for the pass-through transform
-	// crossHost is the forward pass's cross-host wire scheme; the backward
-	// pass reuses it so both directions of the peer exchange are compressed
-	// symmetrically.
-	crossHost quant.Scheme
-	// net is the forward pass's simulated network (nil for instant
-	// delivery); the backward pass reuses it so both directions run on the
-	// same virtual clocks.
-	net *comm.Network
+	// comms is the forward pass's communication configuration; the backward
+	// pass reuses it so both directions of the peer exchange share one wire
+	// scheme and one set of virtual clocks.
+	comms Comms
 
 	// GlobalTraffic covers step (a); HostTraffic step (d); PeerTraffic
 	// step (f). All matrices are G×G, global-rank indexed.
@@ -167,18 +163,12 @@ type SPTTState struct {
 	BwdHiddenComm  time.Duration
 }
 
-// Options tweaks the transform's specializations (§3.1.3).
-type Options struct {
-	// SkipPermute uses a virtual process group instead of physically
-	// reordering step (c): chunks for step (d) are gathered through the
-	// peer-order index map directly. Semantically identical; the tests
-	// assert it.
-	SkipPermute bool
-	// SwapLookupPermute swaps steps (b) and (c): the peer permute is
-	// applied to the index payloads before the lookup, so the shuffle
-	// touches the smaller object when the sparse inputs are lighter than
-	// the embeddings. Semantically identical; the tests assert it.
-	SwapLookupPermute bool
+// Comms groups the transform's communication-infrastructure hooks, which
+// accreted one Options field at a time across the compression, overlap, and
+// latency-model work: the cross-host wire scheme, the compute-overlap hook,
+// and the simulated network. None of them changes outputs — each moves
+// bytes, schedules, or virtual time, never values.
+type Comms struct {
 	// CrossHost quantizes the cross-host hops of the dataflow — the step (f)
 	// peer AlltoAll and its backward counterpart — while intra-host traffic
 	// (step (d) and the tower-module gradient reduction, NVLink in the real
@@ -203,6 +193,29 @@ type Options struct {
 	// (Net.Clock(rank).Advance) to model the compute that hides the
 	// exchange.
 	Net *comm.Network
+}
+
+// NewComms is the compatibility constructor mirroring the field order the
+// old flat Options carried (CrossHost, Overlap, Net), for callers migrating
+// from the pre-grouped API.
+func NewComms(crossHost quant.Scheme, overlap func(rank int), net *comm.Network) Comms {
+	return Comms{CrossHost: crossHost, Overlap: overlap, Net: net}
+}
+
+// Options tweaks the transform's specializations (§3.1.3).
+type Options struct {
+	// SkipPermute uses a virtual process group instead of physically
+	// reordering step (c): chunks for step (d) are gathered through the
+	// peer-order index map directly. Semantically identical; the tests
+	// assert it.
+	SkipPermute bool
+	// SwapLookupPermute swaps steps (b) and (c): the peer permute is
+	// applied to the index payloads before the lookup, so the shuffle
+	// touches the smaller object when the sparse inputs are lighter than
+	// the embeddings. Semantically identical; the tests assert it.
+	SwapLookupPermute bool
+	// Comms bundles the wire scheme, overlap hook, and simulated network.
+	Comms Comms
 }
 
 // SPTTForward runs the pass-through transform (steps a–f, no tower module):
@@ -233,15 +246,14 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 	if len(inputs) != cfg.G {
 		panic(fmt.Sprintf("sptt: %d inputs for %d ranks", len(inputs), cfg.G))
 	}
-	gs := newGroupSet(cfg.G, cfg.L, opt.Net)
+	gs := newGroupSet(cfg.G, cfg.L, opt.Comms.Net)
 	perm := PeerOrder(cfg.G, cfg.L)
 	T, L, B, N := cfg.T(), cfg.L, cfg.B, cfg.N
 	outs := make([]*tensor.Tensor, cfg.G)
 	st := &SPTTState{
-		lookups:   make([]*rankLookupState, cfg.G),
-		modules:   modules,
-		crossHost: opt.CrossHost,
-		net:       opt.Net,
+		lookups: make([]*rankLookupState, cfg.G),
+		modules: modules,
+		comms:   opt.Comms,
 	}
 
 	gs.run(func(c *comm.Comm) {
@@ -329,9 +341,9 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 				copy(blk.Data(), shuffled.Data()[t*ft*B*N:(t+1)*ft*B*N])
 				pchunks[t] = blk
 			}
-			pending := peerC.IAlltoAllTensorsQ(opt.CrossHost, pchunks)
-			if opt.Overlap != nil {
-				opt.Overlap(rank)
+			pending := peerC.IAlltoAllTensorsQ(opt.Comms.CrossHost, pchunks)
+			if opt.Comms.Overlap != nil {
+				opt.Comms.Overlap(rank)
 			}
 			pg := pending.Wait()
 
@@ -377,9 +389,9 @@ func (e *Engine) spttRun(inputs []*Inputs, modules []TowerModule, opt Options) (
 			copy(blk.Data(), compressed.Data()[t*B*oT:(t+1)*B*oT])
 			pchunks[t] = blk
 		}
-		pending := peerC.IAlltoAllTensorsQ(opt.CrossHost, pchunks)
-		if opt.Overlap != nil {
-			opt.Overlap(rank)
+		pending := peerC.IAlltoAllTensorsQ(opt.Comms.CrossHost, pchunks)
+		if opt.Comms.Overlap != nil {
+			opt.Comms.Overlap(rank)
 		}
 		pg := pending.Wait()
 

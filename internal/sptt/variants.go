@@ -33,6 +33,12 @@ func rowRange(rows, l, j int) (lo, hi int) {
 // ReduceScatter that sums the partial pools. Steps (e) and (f) are
 // unchanged. Only sum pooling is supported (partial sums compose; partial
 // means do not).
+//
+// Unlike the table-wise dataflows, this path reads Engine.Tables directly
+// rather than through the embeddings tier: row-wise sharding splits single
+// tables ACROSS compute ranks, the antithesis of disaggregating whole
+// tables onto memory nodes, so the Store API's per-table ownership does not
+// describe it.
 func (e *Engine) SPTTForwardRowWise(inputs []*Inputs) ([]*tensor.Tensor, *RowWiseState) {
 	cfg := e.Cfg
 	for f, spec := range cfg.Features {
