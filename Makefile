@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-embtier bench-embtier-check fuzz-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-embtier bench-embtier-check bench-cluster bench-cluster-check fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,20 @@ bench-embtier:
 # and modeled exposed lookup time vs cache-off.
 bench-embtier-check:
 	$(GO) test -run '^TestEmbTierCacheReducesExposedLookup$$' -v ./internal/experiments
+
+# The cluster capacity-planning sweep (dmt-serve -cluster): open-loop
+# SLO-class arrivals replayed through the discrete-event fleet simulator at
+# growing replica counts.
+bench-cluster:
+	$(GO) run ./cmd/dmt-serve -cluster
+
+# CI gates behind the simulator: (a) an added replica at a fixed queue-bound
+# load strictly reduces the simulated p99, (b) the same profile renders a
+# byte-identical capacity table on every run, and (c) a recorded trace
+# replays to bit-identical simulator output across runs and GOMAXPROCS.
+bench-cluster-check:
+	$(GO) test -run '^(TestClusterCapacityDeterministic|TestClusterAddedReplicaReducesP99)$$' -v ./internal/experiments
+	$(GO) test -run '^TestSimulatorDeterministicAcrossRunsAndProcs$$' -v ./internal/cluster
 
 # Short native-fuzz runs over the wire codec (go test allows one -fuzz
 # target per invocation, hence the two runs).

@@ -238,12 +238,16 @@ func benchServe(b *testing.B, kind string, cfg serve.Config) {
 	b.ResetTimer()
 	var rep serve.LoadReport
 	for i := 0; i < b.N; i++ {
-		rep = serve.RunLoad(srv, samples, serve.LoadConfig{
+		var err error
+		rep, err = serve.RunLoad(srv, samples, serve.LoadConfig{
 			Concurrency: serveConcurrency,
 			Requests:    serveReqsPerIter,
 			ZipfS:       1.2,
 			Seed:        uint64(i + 1),
 		})
+		if err != nil {
+			b.Fatalf("RunLoad: %v", err)
+		}
 	}
 	b.ReportMetric(rep.QPS, "qps")
 	st := srv.Stats()

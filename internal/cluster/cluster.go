@@ -1,0 +1,323 @@
+// Package cluster is the deterministic discrete-event serving simulator: a
+// shared virtual clock, an event heap, and N replica instances of the serve
+// stack's cost model, answering the capacity question production
+// recommendation systems ask — "how many hosts does X QPS need to hold
+// p99 < Y ms?" (the DisaggRec framing) — in milliseconds of wall time.
+//
+// The simulator reuses the layers the serve refactor extracted rather than
+// growing a parallel stack:
+//
+//   - service times come from serve.CostModel (forward time from
+//     perfmodel.EffectiveTFlops over model FLOPs, embedding-fetch rounds
+//     priced by netsim.P2PTime);
+//   - per-replica tower-output and embedding-row caches are embeddings.Keyed
+//     instances, so hit/miss accounting follows exactly the semantics the
+//     real server's memoization uses;
+//   - batch formation mirrors the micro-batcher's flush-on-full /
+//     flush-on-MaxWait policy on the virtual clock.
+//
+// Requests arrive from a workload.Trace (open-loop arrivals, zipf key skew,
+// SLO classes), pass token-bucket admission, are routed by a pluggable
+// Policy, and leave per-class latency breakdowns (queue wait, batch wait,
+// compute, embedding fetch). Every quantity is a pure function of
+// (Config, Trace): same-seed runs are bit-reproducible in CI at any
+// GOMAXPROCS.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"dmt/internal/serve"
+	"dmt/internal/workload"
+)
+
+// Config describes one simulated serving fleet.
+type Config struct {
+	// Replicas is the fleet size (>= 1).
+	Replicas int
+	// Cost prices batched forwards and embedding fetches.
+	Cost serve.CostModel
+	// MaxBatch / MaxWait mirror serve.Config: flush a forming batch when it
+	// holds MaxBatch requests or when its oldest request has waited MaxWait.
+	MaxBatch int
+	MaxWait  time.Duration
+	// Policy routes admitted requests; nil defaults to round-robin.
+	Policy Policy
+	// AdmitRate enables token-bucket admission when positive: the fleet
+	// admits at most AdmitRate requests/second sustained with AdmitBurst
+	// extra headroom (AdmitBurst <= 0 defaults to MaxBatch tokens).
+	AdmitRate  float64
+	AdmitBurst float64
+	// TowerCacheEntries / EmbCacheEntries size each replica's caches
+	// (embeddings.Keyed; <= 0 disables as in serve.Config).
+	TowerCacheEntries int
+	EmbCacheEntries   int
+	CacheShards       int
+	// EmbIDSpace is the distinct embedding-row id space the sample pool maps
+	// onto per table; <= 0 keys rows by sample directly (no cross-sample
+	// sharing).
+	EmbIDSpace int
+}
+
+// event kinds, processed in (time, push-order) sequence.
+type evKind int
+
+const (
+	evArrive evKind = iota
+	evFlush
+	evDone
+)
+
+type event struct {
+	at   time.Duration
+	seq  int64 // push order: the deterministic tie-break
+	kind evKind
+	req  int   // evArrive: index into trace.Requests
+	rep  int   // evFlush/evDone: replica index
+	gen  int64 // evFlush: timer generation, stale timers are ignored
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type sim struct {
+	cfg     Config
+	trace   *workload.Trace
+	events  eventHeap
+	seq     int64
+	reps    []*replica
+	bucket  *tokenBucket
+	classes []*classAcc
+	batches int
+	served  int
+	makespn time.Duration
+}
+
+func (s *sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Run simulates the trace against the fleet and returns the aggregated
+// result. It is a pure function of its arguments.
+func Run(cfg Config, trace *workload.Trace) Result {
+	if cfg.Replicas < 1 {
+		panic(fmt.Sprintf("cluster: %d replicas", cfg.Replicas))
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = time.Millisecond
+	}
+	if cfg.CacheShards < 1 {
+		cfg.CacheShards = 8
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = RoundRobin()
+	}
+
+	s := &sim{cfg: cfg, trace: trace}
+	for i := 0; i < cfg.Replicas; i++ {
+		s.reps = append(s.reps, newReplica(i, cfg))
+	}
+	if cfg.AdmitRate > 0 {
+		burst := cfg.AdmitBurst
+		if burst <= 0 {
+			burst = float64(cfg.MaxBatch)
+		}
+		s.bucket = newTokenBucket(cfg.AdmitRate, burst)
+	}
+	for _, c := range trace.Classes {
+		s.classes = append(s.classes, &classAcc{class: c})
+	}
+
+	for i := range trace.Requests {
+		s.push(event{at: trace.Requests[i].At, kind: evArrive, req: i})
+	}
+	heap.Init(&s.events)
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		switch e.kind {
+		case evArrive:
+			s.arrive(e.at, &s.trace.Requests[e.req])
+		case evFlush:
+			r := s.reps[e.rep]
+			if e.gen == r.timerGen && len(r.pending) > 0 {
+				s.flush(r, e.at)
+			}
+		case evDone:
+			s.complete(s.reps[e.rep], e.at)
+		}
+	}
+	return s.result()
+}
+
+// arrive admits, routes, and enqueues one request.
+func (s *sim) arrive(now time.Duration, rq *workload.Request) {
+	acc := s.classes[rq.Class]
+	acc.arrived++
+	if s.bucket != nil && !s.bucket.allow(now) {
+		acc.rejected++
+		return
+	}
+	r := s.reps[s.route(now, rq)]
+	r.pending = append(r.pending, pendingReq{req: rq})
+	r.pendingEst += time.Duration(rq.Items) * s.cfg.Cost.ItemTime()
+	if len(r.pending) >= s.cfg.MaxBatch {
+		s.flush(r, now)
+		return
+	}
+	if len(r.pending) == 1 {
+		r.timerGen++
+		s.push(event{at: now + s.cfg.MaxWait, kind: evFlush, rep: r.id, gen: r.timerGen})
+	}
+}
+
+// route applies the policy over the replicas' current modeled load.
+func (s *sim) route(now time.Duration, rq *workload.Request) int {
+	loads := make([]time.Duration, len(s.reps))
+	for i, r := range s.reps {
+		loads[i] = r.loadAt(now)
+	}
+	pick := s.cfg.Policy.Pick(rq, loads)
+	if pick < 0 || pick >= len(s.reps) {
+		panic(fmt.Sprintf("cluster: policy %s picked replica %d of %d", s.cfg.Policy.Name(), pick, len(s.reps)))
+	}
+	return pick
+}
+
+// flush seals the replica's forming batch: cache accounting runs here (the
+// batch's cost is fixed at flush, exactly once per request), and the batch
+// joins the executor queue.
+func (s *sim) flush(r *replica, now time.Duration) {
+	r.timerGen++ // invalidate any armed flush timer
+	b := r.seal(now, s.cfg.Cost, s.cfg.EmbIDSpace)
+	r.queue = append(r.queue, b)
+	r.queuedCost += b.cost()
+	if !r.busy {
+		s.start(r, now)
+	}
+}
+
+// start begins service of the replica's oldest queued batch.
+func (s *sim) start(r *replica, now time.Duration) {
+	b := r.queue[0]
+	r.queue = r.queue[1:]
+	r.queuedCost -= b.cost()
+	b.serviceStart = now
+	r.busy = true
+	r.current = b
+	r.busyUntil = now + b.cost()
+	s.push(event{at: r.busyUntil, kind: evDone, rep: r.id})
+}
+
+// complete retires the replica's in-service batch, charging each request its
+// latency breakdown, then starts the next batch if one is queued.
+func (s *sim) complete(r *replica, now time.Duration) {
+	b := r.current
+	r.current = nil
+	r.busy = false
+	s.batches++
+	r.batches++
+	for i := range b.reqs {
+		rq := b.reqs[i].req
+		acc := s.classes[rq.Class]
+		acc.served++
+		s.served++
+		r.served++
+		lat := now - rq.At
+		acc.lats = append(acc.lats, lat)
+		acc.batchWait += b.flushedAt - rq.At
+		acc.queueWait += b.serviceStart - b.flushedAt
+		acc.compute += b.compute
+		acc.embFetch += b.embFetch
+	}
+	if now > s.makespn {
+		s.makespn = now
+	}
+	if len(r.queue) > 0 {
+		s.start(r, now)
+	}
+}
+
+// result aggregates the accumulated counters.
+func (s *sim) result() Result {
+	res := Result{
+		Replicas: s.cfg.Replicas,
+		Policy:   s.cfg.Policy.Name(),
+		Duration: s.makespn,
+		Served:   s.served,
+		Batches:  s.batches,
+	}
+	if s.batches > 0 {
+		res.AvgBatch = float64(s.served) / float64(s.batches)
+	}
+	var all []time.Duration
+	for _, acc := range s.classes {
+		res.Rejected += acc.rejected
+		cr := ClassResult{
+			Class:    acc.class,
+			Arrived:  acc.arrived,
+			Served:   acc.served,
+			Rejected: acc.rejected,
+		}
+		sort.Slice(acc.lats, func(i, j int) bool { return acc.lats[i] < acc.lats[j] })
+		cr.P50 = workload.Percentile(acc.lats, 0.50)
+		cr.P95 = workload.Percentile(acc.lats, 0.95)
+		cr.P99 = workload.Percentile(acc.lats, 0.99)
+		if acc.served > 0 {
+			n := time.Duration(acc.served)
+			cr.AvgBatchWait = acc.batchWait / n
+			cr.AvgQueueWait = acc.queueWait / n
+			cr.AvgCompute = acc.compute / n
+			cr.AvgEmbFetch = acc.embFetch / n
+		}
+		all = append(all, acc.lats...)
+		res.Classes = append(res.Classes, cr)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50 = workload.Percentile(all, 0.50)
+	res.P95 = workload.Percentile(all, 0.95)
+	res.P99 = workload.Percentile(all, 0.99)
+	for _, r := range s.reps {
+		res.PerReplica = append(res.PerReplica, ReplicaResult{
+			Served:  r.served,
+			Batches: r.batches,
+			Tower:   r.tower.Stats(),
+			Emb:     r.emb.Stats(),
+		})
+		res.Tower.Add(r.tower.Stats())
+		res.Emb.Add(r.emb.Stats())
+	}
+	return res
+}
+
+// classAcc accumulates one SLO class during the run.
+type classAcc struct {
+	class             workload.Class
+	arrived, served   int
+	rejected          int
+	lats              []time.Duration
+	batchWait         time.Duration
+	queueWait         time.Duration
+	compute, embFetch time.Duration
+}
+
+// Interface conformance.
+var _ heap.Interface = (*eventHeap)(nil)

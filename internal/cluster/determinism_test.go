@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"dmt/internal/perfmodel"
+	"dmt/internal/serve"
+	"dmt/internal/topology"
+	"dmt/internal/workload"
+)
+
+// TestSimulatorDeterministicAcrossRunsAndProcs is the reproducibility gate:
+// a recorded trace replayed through the simulator must produce a deeply
+// identical Result on every run and at every GOMAXPROCS setting — the
+// property that makes capacity answers diffable in CI.
+func TestSimulatorDeterministicAcrossRunsAndProcs(t *testing.T) {
+	cost := serve.NewCostModel(topology.A100, perfmodel.DLRMSpec(), 8)
+	wcfg := workload.Config{
+		Arrival: workload.Gamma, Rate: 80_000, Shape: 2, Requests: 1500,
+		Samples: 256, ZipfS: 1.15, Classes: workload.DefaultClasses(), Seed: 11,
+	}
+	trace := workload.Generate(wcfg)
+
+	// Record -> replay must reproduce the identical request stream.
+	replayed, err := workload.Decode(trace.Encode())
+	if err != nil {
+		t.Fatalf("decode recorded trace: %v", err)
+	}
+	if !reflect.DeepEqual(trace, replayed) {
+		t.Fatal("record->replay changed the request stream")
+	}
+
+	cfg := Config{
+		Replicas: 3, Cost: cost, MaxBatch: 8, MaxWait: 200 * time.Microsecond,
+		Policy: CacheAffinity(0), AdmitRate: 120_000, AdmitBurst: 16,
+		TowerCacheEntries: 1 << 12, EmbCacheEntries: 1 << 12, EmbIDSpace: 4096,
+	}
+	baseline := Run(cfg, trace)
+	if baseline.Served == 0 {
+		t.Fatal("baseline run served nothing")
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		for run := 0; run < 2; run++ {
+			// Policies carry internal state (the round-robin counter), so each
+			// run gets a fresh one — as any caller constructing a Config would.
+			c := cfg
+			c.Policy = CacheAffinity(0)
+			got := Run(c, replayed)
+			if !reflect.DeepEqual(baseline, got) {
+				t.Fatalf("GOMAXPROCS=%d run %d diverged from baseline:\n got %+v\nwant %+v",
+					procs, run, got, baseline)
+			}
+		}
+	}
+}
+
+// TestGenerateIsPureFunctionOfConfig re-generates the same workload config
+// and requires byte-identical encodings — the trace side of the gate.
+func TestGenerateIsPureFunctionOfConfig(t *testing.T) {
+	wcfg := workload.Config{
+		Arrival: workload.Weibull, Rate: 30_000, Shape: 1.5, Requests: 800,
+		Samples: 128, ZipfS: 1.3, Classes: workload.DefaultClasses(), Seed: 42,
+	}
+	a := workload.Generate(wcfg).Encode()
+	b := workload.Generate(wcfg).Encode()
+	if string(a) != string(b) {
+		t.Fatal("same workload config produced different trace bytes")
+	}
+}

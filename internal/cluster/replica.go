@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"time"
+
+	"dmt/internal/embeddings"
+	"dmt/internal/serve"
+	"dmt/internal/workload"
+)
+
+// replica is one simulated serving instance: the forming micro-batch, the
+// executor queue, and the per-replica memoization caches. It is the
+// replica-state layer the serve refactor carved out: the same batch policy
+// and cache semantics as the real server, minus the goroutines — state
+// advances only when the simulator delivers an event.
+type replica struct {
+	id int
+
+	// pending is the batch under construction (the micro-batcher's "partial
+	// batch"); timerGen invalidates stale MaxWait flush timers.
+	pending    []pendingReq
+	pendingEst time.Duration // modeled compute of pending (load estimate)
+	timerGen   int64
+
+	// queue holds flushed batches awaiting the executor; the replica serves
+	// one batch at a time, exactly like one worker of the real pool.
+	queue      []*batchJob
+	queuedCost time.Duration
+	busy       bool
+	busyUntil  time.Duration
+	current    *batchJob
+
+	// tower / emb are the replica's memoization caches, the same
+	// embeddings.Keyed structure the real server plugs into models.Predict.
+	tower *embeddings.Keyed
+	emb   *embeddings.Keyed
+
+	served  int
+	batches int
+}
+
+type pendingReq struct {
+	req *workload.Request
+}
+
+// batchJob is one sealed micro-batch with its modeled cost, fixed at flush.
+type batchJob struct {
+	reqs         []pendingReq
+	flushedAt    time.Duration
+	serviceStart time.Duration
+	compute      time.Duration
+	embFetch     time.Duration
+}
+
+func (b *batchJob) cost() time.Duration { return b.compute + b.embFetch }
+
+func newReplica(id int, cfg Config) *replica {
+	return &replica{
+		id:    id,
+		tower: embeddings.NewKeyed(cfg.TowerCacheEntries, cfg.CacheShards),
+		emb:   embeddings.NewKeyed(cfg.EmbCacheEntries, cfg.CacheShards),
+	}
+}
+
+// loadAt is the replica's modeled outstanding work at the instant now: the
+// remaining service of the in-flight batch, every queued batch's cost, and
+// the compute estimate of the still-forming batch. Routing policies compare
+// this figure.
+func (r *replica) loadAt(now time.Duration) time.Duration {
+	load := r.queuedCost + r.pendingEst
+	if r.busy && r.busyUntil > now {
+		load += r.busyUntil - now
+	}
+	return load
+}
+
+// towerMarker/rowMarker are the cached "values": the simulator only needs
+// the Keyed cache's presence/LRU/eviction semantics, not row payloads.
+var cacheMarker = []float32{1}
+
+// seal fixes the forming batch's cost: tower and embedding cache accounting
+// runs through the replica's embeddings.Keyed caches with exactly the
+// serve-path key structure (namespace = tower or table, key = the request's
+// feature-group identity; duplicate keys within a batch hit after the first
+// occurrence, mirroring models.Predict's intra-batch dedupe).
+func (r *replica) seal(now time.Duration, cost serve.CostModel, embIDSpace int) *batchJob {
+	b := &batchJob{reqs: r.pending, flushedAt: now}
+	r.pending = nil
+	r.pendingEst = 0
+
+	items, towerHits, missRows := 0, 0, 0
+	for _, pr := range b.reqs {
+		sample := uint64(pr.req.Sample)
+		items += pr.req.Items
+		for t := 0; t < cost.Towers; t++ {
+			if _, ok := r.tower.GetVec(t, sample); ok {
+				towerHits++
+			} else {
+				r.tower.PutVec(t, sample, cacheMarker)
+			}
+		}
+		for f := 0; f < cost.EmbTables; f++ {
+			id := embeddings.NsKey(f, sample)
+			if embIDSpace > 0 {
+				// Fold the sample onto the table's id space so hot rows are
+				// shared across samples, as real bag ids are.
+				id %= uint64(embIDSpace)
+			}
+			if _, ok := r.emb.GetVec(f, id); ok {
+				continue
+			}
+			r.emb.PutVec(f, id, cacheMarker)
+			missRows++
+		}
+	}
+	b.compute, b.embFetch = cost.BatchTime(items, towerHits, missRows)
+	return b
+}

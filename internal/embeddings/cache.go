@@ -20,8 +20,10 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// add accumulates another snapshot (used to merge shards).
-func (s *CacheStats) add(o CacheStats) {
+// Add accumulates another snapshot — merging shards internally, or whole
+// caches when a caller aggregates a fleet of them (the cluster simulator's
+// per-replica caches roll up this way).
+func (s *CacheStats) Add(o CacheStats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
@@ -163,7 +165,7 @@ func (c *ShardedLRU) Stats() CacheStats {
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		out.add(CacheStats{Hits: sh.hits, Misses: sh.misses, Evictions: sh.evictions, Entries: sh.ll.Len()})
+		out.Add(CacheStats{Hits: sh.hits, Misses: sh.misses, Evictions: sh.evictions, Entries: sh.ll.Len()})
 		sh.mu.Unlock()
 	}
 	return out

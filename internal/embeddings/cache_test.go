@@ -1,4 +1,4 @@
-package serve
+package embeddings
 
 import "testing"
 
@@ -71,5 +71,14 @@ func TestNilCacheIsDisabled(t *testing.T) {
 	}
 	if st := c.Stats(); st != (CacheStats{}) {
 		t.Fatalf("nil cache stats %+v, want zero", st)
+	}
+}
+
+func TestCacheStatsAdd(t *testing.T) {
+	a := CacheStats{Hits: 3, Misses: 1, Evictions: 2, Entries: 5}
+	a.Add(CacheStats{Hits: 1, Misses: 4, Evictions: 0, Entries: 2})
+	want := CacheStats{Hits: 4, Misses: 5, Evictions: 2, Entries: 7}
+	if a != want {
+		t.Fatalf("merged stats %+v, want %+v", a, want)
 	}
 }

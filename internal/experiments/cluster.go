@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dmt/internal/cluster"
+	"dmt/internal/perfmodel"
+	"dmt/internal/serve"
+	"dmt/internal/topology"
+	"dmt/internal/workload"
+)
+
+// The capacity-planning experiment: the cluster simulator answering the
+// question the serving sections of disaggregated-inference papers pose —
+// how many replicas does a given arrival rate need before every SLO class
+// holds its p99? One open-loop trace is generated per rate and replayed
+// against every fleet size, so rows within a rate differ only in the fleet.
+
+// ClusterProfile sizes the capacity sweep.
+type ClusterProfile struct {
+	Gen    topology.Generation
+	Towers int // DMT tower count for the cost model (<=1 = monolithic)
+
+	Rates       []float64 // arrival rates (requests/second) to sweep
+	MaxReplicas int
+	Requests    int // trace length per rate
+	Samples     int // distinct sample keys the zipf skew draws from
+	ZipfS       float64
+	Arrival     workload.Dist
+	Shape       float64 // Gamma/Weibull shape; ignored for Poisson
+	Seed        uint64
+
+	MaxBatch     int
+	MaxWait      time.Duration
+	Policy       string  // routing policy name (cluster.ParsePolicy)
+	AdmitPerRep  float64 // token-bucket rate per replica (0 = admission off)
+	CacheEntries int     // per-replica tower and embedding cache entries
+	EmbIDSpace   int     // distinct embedding rows the sample pool folds onto
+}
+
+// SmokeCluster keeps the test suite and CI gate fast.
+func SmokeCluster() ClusterProfile {
+	return ClusterProfile{
+		Gen:          topology.A100,
+		Towers:       8,
+		Rates:        []float64{200_000, 800_000},
+		MaxReplicas:  3,
+		Requests:     4000,
+		Samples:      512,
+		ZipfS:        1.2,
+		Arrival:      workload.Poisson,
+		Seed:         1,
+		MaxBatch:     32,
+		MaxWait:      200 * time.Microsecond,
+		Policy:       "cache-affinity",
+		CacheEntries: 1 << 12,
+		EmbIDSpace:   1 << 14,
+	}
+}
+
+// DefaultCluster is the cmd/dmt-serve -cluster default.
+func DefaultCluster() ClusterProfile {
+	p := SmokeCluster()
+	p.Rates = []float64{250_000, 500_000, 1_000_000, 2_000_000}
+	p.MaxReplicas = 8
+	p.Requests = 40_000
+	p.Samples = 4096
+	p.CacheEntries = 1 << 14
+	p.EmbIDSpace = 1 << 16
+	return p
+}
+
+// ClusterRow is one (rate, fleet size) simulated measurement.
+type ClusterRow struct {
+	Rate     float64
+	Replicas int
+	Served   int
+	Rejected int
+	AvgBatch float64
+
+	P50, P95, P99 time.Duration
+	TowerHitRate  float64
+	MeetsSLO      bool
+
+	Classes []cluster.ClassResult
+}
+
+// ClusterMin is the capacity answer for one rate: the smallest fleet inside
+// the sweep that holds every class's SLO, or 0 when none does.
+type ClusterMin struct {
+	Rate        float64
+	MinReplicas int
+	P99         time.Duration // the winning fleet's p99 (zero if none)
+}
+
+// ClusterCapacityResult carries the sweep and its summary.
+type ClusterCapacityResult struct {
+	Cost    serve.CostModel
+	Profile ClusterProfile
+	Classes []workload.Class
+	Rows    []ClusterRow
+	Min     []ClusterMin
+}
+
+// clusterConfig assembles the simulator config for one fleet size. The
+// policy is constructed per run: policies are stateful (the round-robin
+// cursor) and must not leak state across runs.
+func clusterConfig(p ClusterProfile, cost serve.CostModel, replicas int) (cluster.Config, error) {
+	pol, err := cluster.ParsePolicy(p.Policy)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	return cluster.Config{
+		Replicas:          replicas,
+		Cost:              cost,
+		MaxBatch:          p.MaxBatch,
+		MaxWait:           p.MaxWait,
+		Policy:            pol,
+		AdmitRate:         p.AdmitPerRep * float64(replicas),
+		TowerCacheEntries: p.CacheEntries,
+		EmbCacheEntries:   p.CacheEntries,
+		EmbIDSpace:        p.EmbIDSpace,
+	}, nil
+}
+
+// ClusterCapacity runs the sweep: per rate, one generated trace replayed
+// against fleets of 1..MaxReplicas. Deterministic: same profile, same table.
+func ClusterCapacity(p ClusterProfile) (ClusterCapacityResult, error) {
+	cost := serve.NewCostModel(p.Gen, perfmodel.DLRMSpec(), p.Towers)
+	classes := workload.DefaultClasses()
+	res := ClusterCapacityResult{Cost: cost, Profile: p, Classes: classes}
+
+	for ri, rate := range p.Rates {
+		trace := workload.Generate(workload.Config{
+			Arrival:  p.Arrival,
+			Rate:     rate,
+			Shape:    p.Shape,
+			Requests: p.Requests,
+			Samples:  p.Samples,
+			ZipfS:    p.ZipfS,
+			Classes:  classes,
+			// Each rate gets its own stream; replica counts share it.
+			Seed: p.Seed + uint64(ri)*1_000_003,
+		})
+		min := ClusterMin{Rate: rate}
+		for n := 1; n <= p.MaxReplicas; n++ {
+			cfg, err := clusterConfig(p, cost, n)
+			if err != nil {
+				return res, fmt.Errorf("experiments: cluster sweep: %w", err)
+			}
+			r := cluster.Run(cfg, trace)
+			row := ClusterRow{
+				Rate:         rate,
+				Replicas:     n,
+				Served:       r.Served,
+				Rejected:     r.Rejected,
+				AvgBatch:     r.AvgBatch,
+				P50:          r.P50,
+				P95:          r.P95,
+				P99:          r.P99,
+				TowerHitRate: r.Tower.HitRate(),
+				MeetsSLO:     r.MeetsSLO(),
+				Classes:      r.Classes,
+			}
+			res.Rows = append(res.Rows, row)
+			if row.MeetsSLO && min.MinReplicas == 0 {
+				min.MinReplicas = n
+				min.P99 = r.P99
+			}
+		}
+		res.Min = append(res.Min, min)
+	}
+	return res, nil
+}

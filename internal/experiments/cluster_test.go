@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmt/internal/cluster"
+	"dmt/internal/perfmodel"
+	"dmt/internal/serve"
+	"dmt/internal/topology"
+	"dmt/internal/workload"
+)
+
+// TestClusterCapacityDeterministic is the CI reproducibility gate: the same
+// profile must render a byte-identical capacity table on every run.
+func TestClusterCapacityDeterministic(t *testing.T) {
+	p := SmokeCluster()
+	a, err := ClusterCapacity(p)
+	if err != nil {
+		t.Fatalf("ClusterCapacity: %v", err)
+	}
+	b, err := ClusterCapacity(p)
+	if err != nil {
+		t.Fatalf("ClusterCapacity (second run): %v", err)
+	}
+	fa, fb := FormatCluster(a), FormatCluster(b)
+	if fa != fb {
+		t.Fatalf("same profile produced different tables:\n--- first ---\n%s\n--- second ---\n%s", fa, fb)
+	}
+	if len(a.Rows) != len(p.Rates)*p.MaxReplicas {
+		t.Fatalf("got %d rows, want %d rates x %d fleets", len(a.Rows), len(p.Rates), p.MaxReplicas)
+	}
+	for _, row := range a.Rows {
+		if row.Served+row.Rejected != p.Requests {
+			t.Fatalf("rate %.0f x%d: served %d + rejected %d != %d requests",
+				row.Rate, row.Replicas, row.Served, row.Rejected, p.Requests)
+		}
+	}
+	if !strings.Contains(fa, "capacity:") || !strings.Contains(fa, "DMT 8T") {
+		t.Fatalf("table missing expected sections:\n%s", fa)
+	}
+}
+
+// TestClusterAddedReplicaReducesP99 is the CI sanity gate: at a load where
+// queueing dominates (admission off, rate well above one replica's service
+// capacity), adding a replica must strictly reduce the simulated p99.
+func TestClusterAddedReplicaReducesP99(t *testing.T) {
+	cost := serve.NewCostModel(topology.A100, perfmodel.DLRMSpec(), 8)
+	trace := workload.Generate(workload.Config{
+		Arrival: workload.Poisson, Rate: 3_000_000, Requests: 6000, Samples: 1024,
+		ZipfS: 1.2, Classes: workload.DefaultClasses(), Seed: 9,
+	})
+	p99 := func(replicas int) (d int64) {
+		r := cluster.Run(cluster.Config{
+			Replicas: replicas, Cost: cost, MaxBatch: 32, MaxWait: 200_000,
+			Policy:            cluster.LeastLoaded(),
+			TowerCacheEntries: 1 << 12, EmbCacheEntries: 1 << 12, EmbIDSpace: 1 << 14,
+		}, trace)
+		if r.Served != len(trace.Requests) {
+			t.Fatalf("%d replicas served %d of %d", replicas, r.Served, len(trace.Requests))
+		}
+		return int64(r.P99)
+	}
+	one, two, three := p99(1), p99(2), p99(3)
+	if !(two < one) || !(three < two) {
+		t.Fatalf("p99 not strictly decreasing with fleet size: 1->%d 2->%d 3->%d", one, two, three)
+	}
+}

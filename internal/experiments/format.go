@@ -147,6 +147,45 @@ func FormatServing(rows []ServingRow) string {
 	return b.String()
 }
 
+// FormatCluster renders the capacity-planning sweep: per arrival rate, the
+// fleet sizes tried and which held every SLO class's p99, then the
+// min-replica answers.
+func FormatCluster(r ClusterCapacityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster capacity planning (simulated): %s\n", r.Cost)
+	fmt.Fprintf(&b, "policy=%s  arrival=%s  max-batch=%d  max-wait=%v  classes:",
+		r.Profile.Policy, r.Profile.Arrival, r.Profile.MaxBatch, r.Profile.MaxWait)
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, " %s(%.0f%%, %d item(s), p99<%v)", c.Name, c.Share*100, c.Items, c.SLO)
+	}
+	fmt.Fprintf(&b, "\n%10s %9s %9s %9s %10s %10s %10s %9s %8s %5s\n",
+		"req/s", "replicas", "served", "rejected", "p50", "p95", "p99", "AvgBatch", "TwrHit", "SLO")
+	for _, row := range r.Rows {
+		ok := " no"
+		if row.MeetsSLO {
+			ok = "YES"
+		}
+		fmt.Fprintf(&b, "%10.0f %9d %9d %9d %10s %10s %10s %9.1f %7.1f%% %5s\n",
+			row.Rate, row.Replicas, row.Served, row.Rejected,
+			row.P50.Round(time.Microsecond), row.P95.Round(time.Microsecond),
+			row.P99.Round(time.Microsecond), row.AvgBatch, row.TowerHitRate*100, ok)
+	}
+	b.WriteString("\ncapacity: ")
+	for i, m := range r.Min {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		if m.MinReplicas == 0 {
+			fmt.Fprintf(&b, "%.0f req/s needs >%d replicas", m.Rate, r.Profile.MaxReplicas)
+		} else {
+			fmt.Fprintf(&b, "%.0f req/s -> %d replica(s) (p99 %v)",
+				m.Rate, m.MinReplicas, m.P99.Round(time.Microsecond))
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
 // FormatTable5 renders the compression-ratio AUC trade-off.
 func FormatTable5(rows []Table5Row) string {
 	var b strings.Builder

@@ -54,7 +54,7 @@ const qualityFeatures = 24
 const qualityGroups = 8
 
 // workload builds the standardized synthetic CTR workload.
-func workload(p Profile, seed uint64) *data.Generator {
+func qualityWorkload(p Profile, seed uint64) *data.Generator {
 	cfg := data.CriteoLike(seed)
 	cfg.Cardinalities = make([]int, qualityFeatures)
 	cfg.HotSizes = make([]int, qualityFeatures)
@@ -128,7 +128,7 @@ type Table2Row struct {
 // Table2 reproduces the Strong Baseline justification: bigger batches with
 // a tuned Adam schedule win on both AUC and epoch time.
 func Table2(p Profile) []Table2Row {
-	gen := workload(p, 2024)
+	gen := qualityWorkload(p, 2024)
 	cluster := topology.NewCluster(topology.A100, 64)
 
 	epochHours := func(spec perfmodel.ModelSpec, localBatch int) float64 {
@@ -196,7 +196,7 @@ type QualityRow struct {
 // the distributed transform against the baseline bit-for-bit on the
 // workload's schema.
 func Table3(p Profile) []QualityRow {
-	gen := workload(p, 3033)
+	gen := qualityWorkload(p, 3033)
 	tc := trainConfig(p)
 
 	verified := verifySPTTNeutrality(gen.Config().Schema)
@@ -289,7 +289,7 @@ func verifySPTTNeutrality(schema data.Schema) bool {
 // Table4 reproduces the tower-count sweep: DMT nT models against the
 // Strong Baseline for both families.
 func Table4(p Profile) []QualityRow {
-	gen := workload(p, 4044)
+	gen := qualityWorkload(p, 4044)
 	tc := trainConfig(p)
 	schema := gen.Config().Schema
 
@@ -364,7 +364,7 @@ type Table5Row struct {
 // Table5 reproduces AUC versus compression ratio on DMT 8T-DLRM: quality
 // degrades gracefully as D shrinks (paper: 0.8045 → 0.8000 from CR 2 to 16).
 func Table5(p Profile) []Table5Row {
-	gen := workload(p, 5055)
+	gen := qualityWorkload(p, 5055)
 	tc := trainConfig(p)
 	schema := gen.Config().Schema
 	towersList := tpTowers(gen, 8, 908)
@@ -410,7 +410,7 @@ type Table6Row struct {
 // directly by the affinity metrics (Figure 9, cmd/dmt-partition: planted
 // groups recovered at pair-F1 1.0, within-tower affinity ≈ 2.4× naive).
 func Table6(p Profile) []Table6Row {
-	gen := workload(p, 6066)
+	gen := qualityWorkload(p, 6066)
 	schema := gen.Config().Schema
 
 	run := func(name string, towersCount int, mkModel func([][]int, uint64) models.Model, lr float32,
@@ -470,7 +470,7 @@ type Figure9Result struct {
 // interaction matrix, the MDS embedding, the constrained clustering — is
 // the identical learned pipeline.
 func Figure9(p Profile) Figure9Result {
-	gen := workload(p, 9099)
+	gen := qualityWorkload(p, 9099)
 	return figure9From(gen.LatentBatch(0, 256), "oracle latents (converged-embedding proxy)")
 }
 
@@ -479,7 +479,7 @@ func Figure9(p Profile) Figure9Result {
 // profile's budget (at in-process scale: little — the matrix is nearly
 // flat, which is itself a documented finding in EXPERIMENTS.md).
 func Figure9Learned(p Profile) Figure9Result {
-	gen := workload(p, 9099)
+	gen := qualityWorkload(p, 9099)
 	tc := trainConfig(p)
 	m := models.NewDLRM(dlrmConfig(gen.Config().Schema, 42))
 	models.Train(m, gen, tc)
@@ -524,7 +524,7 @@ type QuantQualityRow struct {
 // QuantQuality trains the DLRM baseline under progressively coarser
 // embedding-communication precision.
 func QuantQuality(p Profile) []QuantQualityRow {
-	gen := workload(p, 8088)
+	gen := qualityWorkload(p, 8088)
 	tc := trainConfig(p)
 	var rows []QuantQualityRow
 	var baseNE float64

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"dmt/internal/data"
@@ -98,8 +99,9 @@ func servingModes(p ServingProfile) []struct {
 }
 
 // ServingTable measures DLRM and DMT-DLRM across the serving modes under
-// identical zipf load, returning 6 rows.
-func ServingTable(p ServingProfile) []ServingRow {
+// identical zipf load, returning 6 rows. A load-generation failure (a
+// server error mid-run) aborts the table.
+func ServingTable(p ServingProfile) ([]ServingRow, error) {
 	cfg := data.CriteoLike(1)
 	gen := data.NewGenerator(cfg)
 	samples := serve.BuildSamples(gen, p.UniqueSamples)
@@ -114,7 +116,7 @@ func ServingTable(p ServingProfile) []ServingRow {
 	for _, m := range preds {
 		for _, mode := range servingModes(p) {
 			srv := serve.NewServer(m, mode.cfg)
-			rep := serve.RunLoad(srv, samples, serve.LoadConfig{
+			rep, err := serve.RunLoad(srv, samples, serve.LoadConfig{
 				Concurrency: p.Concurrency,
 				Requests:    p.Requests,
 				ZipfS:       p.ZipfS,
@@ -122,6 +124,9 @@ func ServingTable(p ServingProfile) []ServingRow {
 			})
 			st := srv.Stats()
 			srv.Close()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: serving %s/%s: %w", m.Name(), mode.name, err)
+			}
 			rows = append(rows, ServingRow{
 				Model:        m.Name(),
 				Mode:         mode.name,
@@ -135,5 +140,5 @@ func ServingTable(p ServingProfile) []ServingRow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }

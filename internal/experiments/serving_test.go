@@ -6,7 +6,10 @@ import (
 )
 
 func TestServingTable(t *testing.T) {
-	rows := ServingTable(SmokeServing())
+	rows, err := ServingTable(SmokeServing())
+	if err != nil {
+		t.Fatalf("ServingTable: %v", err)
+	}
 	if len(rows) != 6 {
 		t.Fatalf("got %d rows, want 6 (2 models x 3 modes)", len(rows))
 	}

@@ -252,6 +252,16 @@ func (f *Fabric) P2PTime(nbytes int, sameHost bool) float64 {
 	return p2pLatencyCross + float64(nbytes)/(f.Gen.ScaleOutGBps()*1e9)
 }
 
+// RoundTrip predicts one request/response exchange between two ranks: the
+// request message out plus the response message back, each priced by
+// P2PTime. It is the per-round cost the serving simulator charges a replica
+// that must fetch embedding rows from a disaggregated store (request = the
+// miss IDs, response = the rows), and the remote embedding tier's round
+// structure follows the same shape.
+func (f *Fabric) RoundTrip(reqBytes, respBytes int, sameHost bool) float64 {
+	return f.P2PTime(reqBytes, sameHost) + f.P2PTime(respBytes, sameHost)
+}
+
 // Figure5Point is one (world size, bus bandwidth) sample of the scalability
 // curve, used to regenerate Figure 5.
 type Figure5Point struct {

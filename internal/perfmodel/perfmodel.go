@@ -238,6 +238,13 @@ func stragglerPenalty(world int) float64 {
 	return 1 + 0.07*math.Log2(float64(world)/8)
 }
 
+// DMTFlopsPerSample returns the DMT variant's MFlops/sample for a tower
+// count (nearest measured key). Exported so the serving cost model charges
+// the same Table 4 compute the training model does.
+func (m ModelSpec) DMTFlopsPerSample(towersCount int) float64 {
+	return m.dmtFlops(towersCount)
+}
+
 // dmtFlops picks the DMT variant's compute for a tower count.
 func (m ModelSpec) dmtFlops(towersCount int) float64 {
 	if v, ok := m.DMTMFlops[towersCount]; ok {

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"dmt/internal/perfmodel"
+	"dmt/internal/topology"
+)
+
+func TestNewCostModelMonolithicVsDMT(t *testing.T) {
+	spec := perfmodel.DLRMSpec()
+
+	mono := NewCostModel(topology.A100, spec, 1)
+	if mono.Towers != 0 || mono.TowerShare != 0 {
+		t.Fatalf("monolithic model has tower discount: %+v", mono)
+	}
+	if mono.MFlopsPerSample != spec.MFlopsPerSample {
+		t.Fatalf("monolithic MFlops %v, want spec's %v", mono.MFlopsPerSample, spec.MFlopsPerSample)
+	}
+
+	dmt := NewCostModel(topology.A100, spec, 8)
+	if dmt.Towers != 8 {
+		t.Fatalf("towers %d, want 8", dmt.Towers)
+	}
+	if dmt.MFlopsPerSample != spec.DMTFlopsPerSample(8) {
+		t.Fatalf("DMT MFlops %v, want Table 4 variant %v", dmt.MFlopsPerSample, spec.DMTFlopsPerSample(8))
+	}
+	if want := spec.EmbElemsPerSample / spec.IndexElemsPerSample; dmt.EmbDim != want {
+		t.Fatalf("emb dim %d, want %d", dmt.EmbDim, want)
+	}
+	if dmt.EmbTables != spec.IndexElemsPerSample {
+		t.Fatalf("emb tables %d, want %d", dmt.EmbTables, spec.IndexElemsPerSample)
+	}
+	if !strings.Contains(dmt.String(), "DMT 8T") || !strings.Contains(mono.String(), "monolithic") {
+		t.Fatalf("String() labels wrong: %q / %q", dmt.String(), mono.String())
+	}
+}
+
+func TestForwardTimeShape(t *testing.T) {
+	c := NewCostModel(topology.A100, perfmodel.DLRMSpec(), 8)
+	if c.ForwardTime(0, 0) != 0 {
+		t.Fatal("zero items must cost zero")
+	}
+	if c.ItemTime() <= 0 {
+		t.Fatal("item time must be positive")
+	}
+	one := c.ForwardTime(1, 0)
+	if one <= c.BatchOverhead {
+		t.Fatalf("one item %v not above the batch overhead %v", one, c.BatchOverhead)
+	}
+	if c.ForwardTime(32, 0) <= c.ForwardTime(16, 0) {
+		t.Fatal("forward time must grow with items")
+	}
+	// Tower hits discount the forward; the discount saturates once every
+	// (sample, tower) pair hit — extra hits cannot go below the floor.
+	if c.ForwardTime(1, c.Towers) >= one {
+		t.Fatal("full tower hits did not reduce forward time")
+	}
+	if c.ForwardTime(1, 2*c.Towers) != c.ForwardTime(1, c.Towers) {
+		t.Fatal("tower discount must clamp at the tower share")
+	}
+}
+
+func TestEmbFetchTimeShape(t *testing.T) {
+	c := NewCostModel(topology.A100, perfmodel.DLRMSpec(), 8)
+	if c.EmbFetchTime(0) != 0 {
+		t.Fatal("zero misses must cost zero")
+	}
+	few, many := c.EmbFetchTime(8), c.EmbFetchTime(512)
+	if few <= 0 || many <= few {
+		t.Fatalf("fetch times %v / %v, want positive and growing", few, many)
+	}
+	compute, fetch := c.BatchTime(4, 2, 16)
+	if compute != c.ForwardTime(4, 2) || fetch != c.EmbFetchTime(16) {
+		t.Fatal("BatchTime must compose ForwardTime and EmbFetchTime exactly")
+	}
+}

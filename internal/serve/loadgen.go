@@ -2,20 +2,20 @@ package serve
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"dmt/internal/data"
+	"dmt/internal/workload"
 )
 
-// The built-in closed-loop load generator: a fixed set of client goroutines
-// each draw sample ids from a zipf-skewed distribution over a pool of
-// deterministic samples, issue a blocking Predict, and record the latency.
-// Zipf skew is what makes the caches earn their keep — hot ids repeat, as
-// hot items and returning users do in production recommendation traffic.
+// The built-in closed-loop load generator, reimplemented on package
+// workload: a fixed set of client goroutines each draw sample ids from a
+// workload.KeyStream (the same zipf-skewed stream the open-loop trace
+// generator uses), issue a blocking Predict, and record the latency. Zipf
+// skew is what makes the caches earn their keep — hot ids repeat, as hot
+// items and returning users do in production recommendation traffic.
 
 // LoadConfig parameterizes a closed-loop run.
 type LoadConfig struct {
@@ -66,10 +66,12 @@ func BuildSamples(gen *data.Generator, n int) []Sample {
 }
 
 // RunLoad drives the server with cfg.Requests blocking predictions from
-// cfg.Concurrency clients drawing zipf-skewed ids over samples.
-func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
+// cfg.Concurrency clients drawing zipf-skewed ids over samples. A Predict
+// error — a closed or failing server — stops the run and is returned
+// (wrapped) instead of crashing the client goroutine.
+func RunLoad(s *Server, samples []Sample, cfg LoadConfig) (LoadReport, error) {
 	if len(samples) == 0 {
-		return LoadReport{}
+		return LoadReport{}, nil
 	}
 	if cfg.Concurrency < 1 {
 		cfg.Concurrency = 1
@@ -78,7 +80,7 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 		cfg.ZipfS = 1.2
 	}
 	if cfg.Requests < 1 {
-		return LoadReport{}
+		return LoadReport{}, nil
 	}
 	// Spread the load so exactly cfg.Requests are issued: every client gets
 	// the floor share and the remainder goes one-per-client to the first
@@ -89,6 +91,8 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 	total := cfg.Requests
 
 	lats := make([][]time.Duration, cfg.Concurrency)
+	var errOnce sync.Once
+	var loadErr error
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Concurrency; c++ {
@@ -102,14 +106,14 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 		wg.Add(1)
 		go func(c, n int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(cfg.Seed)*7919 + int64(c)))
-			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(samples)-1))
+			keys := workload.NewKeyStream(int64(cfg.Seed)*7919+int64(c), cfg.ZipfS, len(samples))
 			mine := make([]time.Duration, 0, n)
 			for i := 0; i < n; i++ {
-				sm := samples[zipf.Uint64()]
+				sm := samples[keys.Next()]
 				t0 := time.Now()
 				if _, err := s.Predict(sm); err != nil {
-					panic(fmt.Sprintf("serve: load client hit %v", err))
+					errOnce.Do(func() { loadErr = err })
+					return
 				}
 				mine = append(mine, time.Since(t0))
 			}
@@ -118,6 +122,9 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if loadErr != nil {
+		return LoadReport{}, fmt.Errorf("serve: load client: %w", loadErr)
+	}
 
 	var all []time.Duration
 	for _, l := range lats {
@@ -128,27 +135,8 @@ func RunLoad(s *Server, samples []Sample, cfg LoadConfig) LoadReport {
 		Requests: total,
 		Elapsed:  elapsed,
 		QPS:      float64(total) / elapsed.Seconds(),
-		P50:      percentile(all, 0.50),
-		P95:      percentile(all, 0.95),
-		P99:      percentile(all, 0.99),
-	}
-}
-
-// percentile reads the q-quantile from sorted latencies with the ceil
-// nearest-rank convention: the smallest sample with at least a q fraction
-// of the distribution at or below it. Floor-indexing into n-1 would round
-// tail percentiles down a rank and underestimate them at small n.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	rank := int(math.Ceil(q * float64(n)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	return sorted[rank-1]
+		P50:      workload.Percentile(all, 0.50),
+		P95:      workload.Percentile(all, 0.95),
+		P99:      workload.Percentile(all, 0.99),
+	}, nil
 }

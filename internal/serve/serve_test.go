@@ -173,7 +173,10 @@ func TestZipfLoadHitsTowerCache(t *testing.T) {
 	defer srv.Close()
 
 	samples := BuildSamples(gen, 256)
-	rep := RunLoad(srv, samples, LoadConfig{Concurrency: 8, Requests: 512, ZipfS: 1.3, Seed: 1})
+	rep, err := RunLoad(srv, samples, LoadConfig{Concurrency: 8, Requests: 512, ZipfS: 1.3, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
 	if rep.QPS <= 0 || rep.P99 < rep.P50 {
 		t.Fatalf("implausible report: %v", rep)
 	}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Trace record/replay: Encode serializes a trace to a line-oriented text
+// form, Decode rebuilds it. The format is deliberately plain — one class
+// line per SLO class, one request line per record — so recorded traces can
+// be diffed, truncated, or hand-crafted for tests. Encode(Decode(b)) is
+// byte-identical, which is what makes replayed simulations reproducible
+// across processes.
+
+const traceHeader = "# dmt workload trace v1"
+
+// Encode renders the trace in the record/replay text format.
+func (t *Trace) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, traceHeader)
+	for _, c := range t.Classes {
+		fmt.Fprintf(&b, "class %s %g %d %d\n", c.Name, c.Share, c.Items, c.SLO.Nanoseconds())
+	}
+	for _, r := range t.Requests {
+		fmt.Fprintf(&b, "%d %d %d %d %d\n", r.Seq, r.At.Nanoseconds(), r.Sample, r.Class, r.Items)
+	}
+	return b.Bytes()
+}
+
+// Decode parses a trace previously produced by Encode.
+func Decode(data []byte) (*Trace, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() || sc.Text() != traceHeader {
+		return nil, fmt.Errorf("workload: missing trace header %q", traceHeader)
+	}
+	tr := &Trace{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "class ") {
+			var c Class
+			var sloNS int64
+			if _, err := fmt.Sscanf(text, "class %s %g %d %d", &c.Name, &c.Share, &c.Items, &sloNS); err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: bad class record: %v", line, err)
+			}
+			c.SLO = time.Duration(sloNS)
+			tr.Classes = append(tr.Classes, c)
+			continue
+		}
+		var r Request
+		var atNS int64
+		if _, err := fmt.Sscanf(text, "%d %d %d %d %d", &r.Seq, &atNS, &r.Sample, &r.Class, &r.Items); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad request record: %v", line, err)
+		}
+		r.At = time.Duration(atNS)
+		if r.Class < 0 || r.Class >= len(tr.Classes) {
+			return nil, fmt.Errorf("workload: trace line %d: class %d out of range [0,%d)", line, r.Class, len(tr.Classes))
+		}
+		tr.Requests = append(tr.Requests, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %v", err)
+	}
+	return tr, nil
+}
