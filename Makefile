@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-embtier bench-embtier-check bench-cluster bench-cluster-check fuzz-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-embtier bench-embtier-check bench-cluster bench-cluster-check bench-hotpath bench-hotpath-check fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -99,11 +99,30 @@ bench-cluster-check:
 	$(GO) test -run '^(TestClusterCapacityDeterministic|TestClusterAddedReplicaReducesP99)$$' -v ./internal/experiments
 	$(GO) test -run '^TestSimulatorDeterministicAcrossRunsAndProcs$$' -v ./internal/cluster
 
+# Hot-path kernel benchmarks: the serial vs parallel tiled MatMul backends
+# at over-arch shapes, and the fused vs unfused quantized codec with
+# allocs/op (-benchmem) — the before/after numbers behind the README's
+# "Hot-path kernels" section.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench '^BenchmarkHotpath' -benchmem -timeout 20m ./internal/tensor ./internal/quant
+
+# CI gates behind the raw-speed pass: (a) the parallel tiled backend must
+# beat the serial kernel by >= 1.5x for MatMul and MatMulBT at over-arch
+# shapes (skips below 2 procs — nothing to fan out over), (b) the fused
+# codec must allocate strictly less per op than the unfused composition it
+# replaced, with the pooled encode paths pinned at zero steady-state
+# allocations, and (c) the pooled EmbeddingBag backward stays O(1) allocs.
+bench-hotpath-check:
+	$(GO) test -run '^TestHotpathParallelMatMulSpeedup$$' -v ./internal/tensor
+	$(GO) test -run '^(TestFusedCutsAllocs|TestPooledEncodeAllocs)$$' -v ./internal/quant
+	$(GO) test -run '^TestEmbeddingBackwardAllocs$$' -v ./internal/nn
+
 # Short native-fuzz runs over the wire codec (go test allows one -fuzz
-# target per invocation, hence the two runs).
+# target per invocation, hence the separate runs).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFloat16RoundTrip$$' -fuzztime 10s ./internal/quant
 	$(GO) test -run '^$$' -fuzz '^FuzzLinearQuantRoundTrip$$' -fuzztime 10s ./internal/quant
+	$(GO) test -run '^$$' -fuzz '^FuzzFusedCodec$$' -fuzztime 10s ./internal/quant
 
 serve-demo:
 	$(GO) run ./cmd/dmt-serve -requests 8192 -concurrency 32

@@ -18,6 +18,13 @@ type tokenBucket struct {
 }
 
 func newTokenBucket(rate, burst float64) *tokenBucket {
+	// Clamp the effective burst to one whole token: refill caps tokens at
+	// burst, and admission needs tokens >= 1, so any burst below 1 (a
+	// "pure-rate" limiter with burst 0, or a fractional burst) would reject
+	// every request forever no matter the rate.
+	if burst < 1 {
+		burst = 1
+	}
 	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
 }
 

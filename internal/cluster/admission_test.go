@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketZeroBurst is the regression test for the pure-rate
+// configuration: with burst=0 the refill used to cap tokens at
+// min(burst, …) = 0, so no whole token could ever accumulate and every
+// request was rejected regardless of rate. The effective burst clamps to
+// one token, making the bucket behave as a rate limiter.
+func TestTokenBucketZeroBurst(t *testing.T) {
+	b := newTokenBucket(100, 0) // 100 QPS, no configured headroom
+	if !b.allow(0) {
+		t.Fatal("burst=0 bucket rejected the first request despite a full refill")
+	}
+	if b.allow(time.Millisecond) {
+		t.Fatal("admitted above the refill rate: 1ms at 100 QPS is a tenth of a token")
+	}
+	if !b.allow(11 * time.Millisecond) {
+		t.Fatal("rejected after a full token (10ms at 100 QPS) accumulated")
+	}
+	// Sustained: over one virtual second the bucket must admit ~rate
+	// requests, not zero (the bug) and not unbounded.
+	admitted := 0
+	for ms := 100; ms <= 1100; ms++ {
+		if b.allow(time.Duration(ms) * time.Millisecond) {
+			admitted++
+		}
+	}
+	// ~rate, with slack for float refill rounding (ten 0.1-token refills
+	// sum to just under one token, stretching some gaps to 11ms).
+	if admitted < 85 || admitted > 105 {
+		t.Fatalf("admitted %d over one second at 100 QPS; want ~100", admitted)
+	}
+}
+
+// TestTokenBucketFractionalBurst covers the same failure through a
+// fractional configured burst: 0.5 of a token is as unusable as zero.
+func TestTokenBucketFractionalBurst(t *testing.T) {
+	b := newTokenBucket(10, 0.5)
+	if !b.allow(0) {
+		t.Fatal("fractional-burst bucket rejected the first request")
+	}
+}
+
+// TestTokenBucketBurstHeadroom verifies the clamp leaves real bursts alone:
+// a burst-of-5 bucket admits 5 back-to-back requests, then throttles.
+func TestTokenBucketBurstHeadroom(t *testing.T) {
+	b := newTokenBucket(1, 5)
+	for i := 0; i < 5; i++ {
+		if !b.allow(0) {
+			t.Fatalf("burst request %d rejected within headroom", i)
+		}
+	}
+	if b.allow(0) {
+		t.Fatal("admitted past the burst headroom with no refill time")
+	}
+}

@@ -29,6 +29,13 @@ import (
 // results. A rank can also predict exactly what its peers will reconstruct
 // from its own contribution via quant.Apply — the property the distributed
 // trainer's error-feedback residuals rely on.
+//
+// Payload buffers are pooled (see quant.Encode): the sender retains one
+// reference per receiver before posting, and each resolver releases its
+// reference once the payload has been decoded or reduced into a tensor the
+// caller owns. Reduce-style resolvers use the fused AddTo so no intermediate
+// decoded tensor is ever materialized. Steady-state compressed collectives
+// therefore run without per-step codec allocations.
 
 // IAlltoAllTensorsQ posts quantized chunks and returns a handle resolving to
 // the decoded chunks indexed by source rank. Nil chunks are delivered as
@@ -45,6 +52,8 @@ func (c *Comm) IAlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) *Pendi
 		var enc *quant.Encoded
 		nbytes := 0
 		if chunks[d] != nil {
+			// Ownership of the payload's single reference transfers to the
+			// one receiver, which releases it after decoding.
 			enc = quant.Encode(s, chunks[d])
 			nbytes = enc.WireBytes()
 		}
@@ -55,6 +64,7 @@ func (c *Comm) IAlltoAllTensorsQ(s quant.Scheme, chunks []*tensor.Tensor) *Pendi
 		for src := 0; src < n; src++ {
 			if enc := c.recv(src).(*quant.Encoded); enc != nil {
 				out[src] = enc.Decode()
+				enc.Release()
 			}
 		}
 		return out
@@ -78,13 +88,16 @@ func (c *Comm) IAllGatherQ(s quant.Scheme, x *tensor.Tensor) *Pending[[]*tensor.
 	}
 	n := c.g.size
 	enc := quant.Encode(s, x)
+	enc.Retain(n - 1) // one reference per receiver (the encode's own makes n)
 	for d := 0; d < n; d++ {
 		c.send(d, enc, enc.WireBytes())
 	}
 	return newPending(c, func() []*tensor.Tensor {
 		out := make([]*tensor.Tensor, n)
 		for src := 0; src < n; src++ {
-			out[src] = c.recv(src).(*quant.Encoded).Decode()
+			e := c.recv(src).(*quant.Encoded)
+			out[src] = e.Decode()
+			e.Release()
 		}
 		return out
 	})
@@ -104,28 +117,58 @@ func (c *Comm) IAllGatherBatchQ(s quant.Scheme, xs []*tensor.Tensor) *Pending[[]
 	if s == quant.None {
 		return c.IAllGatherBatch(xs)
 	}
-	n := c.g.size
 	encs := make([]*quant.Encoded, len(xs))
-	bytes := 0
 	for i, x := range xs {
 		encs[i] = quant.Encode(s, x)
-		bytes += encs[i].WireBytes()
 	}
-	for d := 0; d < n; d++ {
-		c.send(d, encs, bytes)
-	}
+	n := c.g.size
+	resolve := c.postGatherBatchEnc(encs)
 	return newPending(c, func() [][]*tensor.Tensor {
+		es := resolve()
 		out := make([][]*tensor.Tensor, n)
 		for src := 0; src < n; src++ {
-			es := c.recv(src).([]*quant.Encoded)
-			ts := make([]*tensor.Tensor, len(es))
-			for i, e := range es {
+			ts := make([]*tensor.Tensor, len(es[src]))
+			for i, e := range es[src] {
 				ts[i] = e.Decode()
+				e.Release()
 			}
 			out[src] = ts
 		}
 		return out
 	})
+}
+
+// IAllGatherBatchEnc gathers pre-encoded payloads: the whole batch travels
+// to every rank as one mailbox message, and the handle resolves to the raw
+// payloads indexed [src][i] so the receiver can run the fused
+// DecodeInto/AddTo paths without materializing intermediate tensors. The
+// collective takes over the caller's reference on each payload; the resolver
+// hands each receiver one reference per payload, which the receiver must
+// Release after consuming.
+func (c *Comm) IAllGatherBatchEnc(encs []*quant.Encoded) *Pending[[][]*quant.Encoded] {
+	return newPending(c, c.postGatherBatchEnc(encs))
+}
+
+// postGatherBatchEnc posts the encoded batch to every rank and returns the
+// resolver, shared by IAllGatherBatchEnc and IAllGatherBatchQ (each wraps it
+// in its own single Pending — handles cannot nest, Wait order is a ticket).
+func (c *Comm) postGatherBatchEnc(encs []*quant.Encoded) func() [][]*quant.Encoded {
+	n := c.g.size
+	bytes := 0
+	for _, e := range encs {
+		e.Retain(n - 1) // with the caller's reference: one per receiver
+		bytes += e.WireBytes()
+	}
+	for d := 0; d < n; d++ {
+		c.send(d, encs, bytes)
+	}
+	return func() [][]*quant.Encoded {
+		out := make([][]*quant.Encoded, n)
+		for src := 0; src < n; src++ {
+			out[src] = c.recv(src).([]*quant.Encoded)
+		}
+		return out
+	}
 }
 
 // IAllReduceSumQ posts x in quantized form and returns a handle resolving
@@ -138,15 +181,20 @@ func (c *Comm) IAllReduceSumQ(s quant.Scheme, x *tensor.Tensor) *Pending[*tensor
 	}
 	n := c.g.size
 	enc := quant.Encode(s, x)
+	enc.Retain(n - 1)
 	for d := 0; d < n; d++ {
 		c.send(d, enc, enc.WireBytes())
 	}
 	return newPending(c, func() *tensor.Tensor {
-		// Decode allocates per receiver, so the src-0 decode is this rank's
-		// own buffer and can accumulate in place.
-		out := c.recv(0).(*quant.Encoded).Decode()
+		// The src-0 decode allocates this receiver's own result buffer; the
+		// remaining contributions accumulate into it via the fused AddTo.
+		e := c.recv(0).(*quant.Encoded)
+		out := e.Decode()
+		e.Release()
 		for src := 1; src < n; src++ {
-			tensor.AddInPlace(out, c.recv(src).(*quant.Encoded).Decode())
+			e := c.recv(src).(*quant.Encoded)
+			e.AddTo(out)
+			e.Release()
 		}
 		return out
 	})
@@ -178,9 +226,13 @@ func (c *Comm) IReduceScatterSumQ(s quant.Scheme, chunks []*tensor.Tensor) *Pend
 		c.send(d, enc, enc.WireBytes())
 	}
 	return newPending(c, func() *tensor.Tensor {
-		out := c.recv(0).(*quant.Encoded).Decode()
+		e := c.recv(0).(*quant.Encoded)
+		out := e.Decode()
+		e.Release()
 		for src := 1; src < n; src++ {
-			tensor.AddInPlace(out, c.recv(src).(*quant.Encoded).Decode())
+			e := c.recv(src).(*quant.Encoded)
+			e.AddTo(out)
+			e.Release()
 		}
 		return out
 	})
@@ -201,12 +253,18 @@ func (c *Comm) BroadcastQ(s quant.Scheme, x *tensor.Tensor, root int) *tensor.Te
 	c.checkIdle("BroadcastQ")
 	if c.rank == root {
 		enc := quant.Encode(s, x)
+		enc.Retain(c.g.size - 1)
 		for d := 0; d < c.g.size; d++ {
 			if d != root {
 				c.send(d, enc, enc.WireBytes())
 			}
 		}
-		return enc.Decode()
+		out := enc.Decode()
+		enc.Release()
+		return out
 	}
-	return c.recv(root).(*quant.Encoded).Decode()
+	e := c.recv(root).(*quant.Encoded)
+	out := e.Decode()
+	e.Release()
+	return out
 }

@@ -174,6 +174,26 @@ type Trainer struct {
 	// Allocated only when Compression.Gradient is active; each rank writes
 	// only its own slots, so the rank-parallel engine needs no locking.
 	residuals [][]*tensor.Tensor
+
+	// arenas[g] is rank g's persistent wire scratch for the over-arch
+	// gradient buckets, so steady-state bucket assembly allocates nothing
+	// (see launchBucket). Unused by the sequential reference path.
+	arenas []bucketArena
+}
+
+// bucketArena is one rank's reusable bucket-assembly scratch. Reuse across
+// steps is safe because the gradient-exchange comm.Run joins before the next
+// step can launch: no peer can still be reading last step's buffers.
+type bucketArena struct {
+	// contrib holds, per over-arch parameter, the gradient snapshot that
+	// rides the raw (uncompressed) wire in place of a per-step clone.
+	contrib []*tensor.Tensor
+	// vs[bi] aliases the contrib tensors of bucket bi's parameters — the
+	// slice posted as one batched message.
+	vs [][]*tensor.Tensor
+	// encs[bi] holds bucket bi's encoded payload slots (compressed path);
+	// the Encoded values themselves come from quant's buffer pool.
+	encs [][]*quant.Encoded
 }
 
 // PhaseTimes is cumulative wall-clock per step phase.
@@ -365,6 +385,30 @@ func New(cfg Config) (*Trainer, error) {
 				rs = append(rs, tensor.New(p.Value.Shape()...))
 			}
 			tr.residuals = append(tr.residuals, rs)
+		}
+	}
+	if !cfg.Sequential {
+		tr.arenas = make([]bucketArena, cfg.G)
+		for g := 0; g < cfg.G; g++ {
+			a := &tr.arenas[g]
+			if cfg.Compression.Gradient == quant.None {
+				for _, p := range tr.replicas[g].OverArchParams() {
+					a.contrib = append(a.contrib, tensor.New(p.Value.Shape()...))
+				}
+				a.vs = make([][]*tensor.Tensor, len(tr.buckets))
+				for bi, b := range tr.buckets {
+					vs := make([]*tensor.Tensor, len(b.params))
+					for i, pi := range b.params {
+						vs[i] = a.contrib[pi]
+					}
+					a.vs[bi] = vs
+				}
+			} else {
+				a.encs = make([][]*quant.Encoded, len(tr.buckets))
+				for bi, b := range tr.buckets {
+					a.encs[bi] = make([]*quant.Encoded, len(b.params))
+				}
+			}
 		}
 	}
 	return tr, nil
@@ -583,61 +627,82 @@ func (tr *Trainer) reduceOverArch(c *comm.Comm, invG float32) {
 	}
 }
 
-// pendingBucket is one in-flight gradient bucket: the whole-parameter
-// contributions that went on the wire (needed for the error-feedback
-// residuals) plus the single batched collective carrying all of them.
+// pendingBucket is one in-flight gradient bucket: the single batched
+// collective carrying every parameter of the bucket. Exactly one handle is
+// set — h for the raw wire, hEnc for the compressed one.
 type pendingBucket struct {
 	params []int
-	vs     []*tensor.Tensor
 	h      *comm.Pending[[][]*tensor.Tensor]
+	hEnc   *comm.Pending[[][]*quant.Encoded]
 }
 
 // launchBucket posts rank g's reduction of one gradient bucket — every
 // parameter of the bucket rides a single batched AllGather message — and
-// returns without waiting. Gradients are cloned before sending: collectives
-// deliver by reference and p.Grad is overwritten while peers may still be
-// reading. Compressed runs add the error-feedback residual before encoding;
-// each parameter is encoded separately, so bucket boundaries never change
-// what the quantizer sees.
+// returns without waiting. On the raw wire the gradients are snapshotted
+// into the rank's persistent arena before sending: collectives deliver by
+// reference and p.Grad is overwritten while peers may still be reading. On
+// the compressed wire the fused quant.EncodeResidual quantizes g + r
+// straight into pooled wire buffers and leaves the refreshed error-feedback
+// residual behind in the same pass — no cloned contribution and no
+// intermediate fp32 tensor ever materializes. Each parameter is still
+// encoded separately, so bucket boundaries never change what the quantizer
+// sees, and steady-state launches allocate nothing.
 func (tr *Trainer) launchBucket(c *comm.Comm, g int, params []*nn.Param, b gradBucket) pendingBucket {
 	s := tr.cfg.Compression.Gradient
-	vs := make([]*tensor.Tensor, len(b.params))
-	for i, pi := range b.params {
-		v := params[pi].Grad.Clone()
-		if s != quant.None {
-			tensor.AddInPlace(v, tr.residuals[g][pi])
+	a := &tr.arenas[g]
+	if s == quant.None {
+		vs := a.vs[b.idx]
+		for i, pi := range b.params {
+			vs[i].CopyFrom(params[pi].Grad)
 		}
-		vs[i] = v
+		return pendingBucket{params: b.params, h: c.IAllGatherBatch(vs)}
 	}
-	return pendingBucket{params: b.params, vs: vs, h: c.IAllGatherBatchQ(s, vs)}
+	encs := a.encs[b.idx]
+	for i, pi := range b.params {
+		encs[i] = quant.EncodeResidual(s, params[pi].Grad, tr.residuals[g][pi])
+	}
+	return pendingBucket{params: b.params, hEnc: c.IAllGatherBatchEnc(encs)}
 }
 
 // finishBucket completes a launched bucket: waits for every rank's batch,
-// then per parameter sums the contributions in source-rank order
-// (compressed runs also refresh the error-feedback residual from what
-// peers decoded of this rank's payload), scales to the global-batch mean,
-// and writes the result back into the parameter gradient.
+// then per parameter accumulates the contributions in source-rank order
+// directly into the parameter gradient, scaled to the global-batch mean.
+// Compressed contributions reduce through the fused DecodeInto/AddTo, so no
+// decoded intermediate is materialized, and every received payload is
+// released back to the wire-buffer pool once consumed. (The error-feedback
+// residual was already refreshed at launch by EncodeResidual.)
 func (tr *Trainer) finishBucket(g int, params []*nn.Param, pb pendingBucket, invG float32) {
-	parts := pb.h.Wait() // indexed [src][i]
-	s := tr.cfg.Compression.Gradient
+	if pb.h != nil {
+		parts := pb.h.Wait() // indexed [src][i], by reference into peer arenas
+		for i, pi := range pb.params {
+			gd := params[pi].Grad
+			gd.CopyFrom(parts[0][i])
+			for src := 1; src < len(parts); src++ {
+				tensor.AddInPlace(gd, parts[src][i])
+			}
+			d := gd.Data()
+			for j, x := range d {
+				d[j] = x * invG
+			}
+		}
+		return
+	}
+	parts := pb.hEnc.Wait() // indexed [src][i]
 	for i, pi := range pb.params {
-		var avg *tensor.Tensor
-		if s == quant.None {
-			// Raw batches arrive by reference; clone src 0 to accumulate.
-			avg = parts[0][i].Clone()
-		} else {
-			// parts[g][i] is exactly what every peer decoded from this
-			// rank's payload; the shortfall feeds back into the next step.
-			tr.residuals[g][pi] = tensor.Sub(pb.vs[i], parts[g][i])
-			avg = parts[0][i] // decoded fresh per receiver; safe to accumulate
-		}
+		gd := params[pi].Grad
+		parts[0][i].DecodeInto(gd)
 		for src := 1; src < len(parts); src++ {
-			tensor.AddInPlace(avg, parts[src][i])
+			parts[src][i].AddTo(gd)
 		}
-		for j, x := range avg.Data() {
-			avg.Data()[j] = x * invG
+		d := gd.Data()
+		for j, x := range d {
+			d[j] = x * invG
 		}
-		params[pi].Grad.CopyFrom(avg)
+	}
+	for _, es := range parts {
+		for _, e := range es {
+			e.Release()
+		}
 	}
 }
 

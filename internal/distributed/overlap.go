@@ -39,6 +39,9 @@ type gradBucket struct {
 	// afterBottom marks buckets whose gradients are final only once
 	// BackwardBottom has run; the rest launch right after BackwardTop.
 	afterBottom bool
+	// idx is the bucket's position in launch order — the key into each
+	// rank's persistent bucket arena (see launchBucket).
+	idx int
 }
 
 // planBuckets groups the over-arch parameters into buckets in launch order:
@@ -72,6 +75,9 @@ func planBuckets(m *models.DMTDLRM, bucketBytes int) []gradBucket {
 	}
 	pack(nBottom, len(all), false)
 	pack(0, nBottom, true)
+	for i := range out {
+		out[i].idx = i
+	}
 	return out
 }
 

@@ -34,6 +34,16 @@ type EmbeddingBag struct {
 
 	lastIndices []int32
 	lastOffsets []int32
+
+	// Backward arena, reused across steps: slot assignment per touched row
+	// (first-encounter order, exactly the order the old per-row map
+	// materialized rows in), the touched rows by slot, and the flat
+	// accumulation buffer at Dim floats per slot. Only the returned
+	// SparseGrad escapes a Backward call, so everything else lives here and
+	// steady-state backward allocates nothing beyond that result.
+	bwdSlot map[int]int
+	bwdRows []int
+	bwdBuf  []float32
 }
 
 // NewEmbeddingBag creates a table initialized U(-1/Rows, 1/Rows), the
@@ -101,11 +111,21 @@ type SparseGrad struct {
 
 // Backward converts the pooled-output gradient dY (numBags, Dim) into a
 // coalesced sparse gradient over table rows.
+//
+// Accumulation runs in bag order, index order within each bag, into one
+// arena slot per distinct row — the identical float32 operation sequence per
+// row as the original per-row map, so trajectories do not move by a bit.
+// The arena persists across steps; only the returned SparseGrad is freshly
+// allocated (it escapes into the optimizer and the gradient routing).
 func (e *EmbeddingBag) Backward(dy *tensor.Tensor) *SparseGrad {
 	if e.lastOffsets == nil {
 		panic("nn: EmbeddingBag.Backward before Forward")
 	}
-	acc := make(map[int][]float32)
+	if e.bwdSlot == nil {
+		e.bwdSlot = make(map[int]int)
+	}
+	clear(e.bwdSlot)
+	e.bwdRows = e.bwdRows[:0]
 	for b := 0; b < len(e.lastOffsets); b++ {
 		lo, hi := e.bagBounds(e.lastIndices, e.lastOffsets, b)
 		if lo == hi {
@@ -117,26 +137,49 @@ func (e *EmbeddingBag) Backward(dy *tensor.Tensor) *SparseGrad {
 			scale = 1 / float32(hi-lo)
 		}
 		for _, idx := range e.lastIndices[lo:hi] {
-			row := acc[int(idx)]
-			if row == nil {
-				row = make([]float32, e.Dim)
-				acc[int(idx)] = row
+			slot, ok := e.bwdSlot[int(idx)]
+			if !ok {
+				slot = len(e.bwdRows)
+				e.bwdSlot[int(idx)] = slot
+				e.bwdRows = append(e.bwdRows, int(idx))
+				e.bwdBuf = growZeroRow(e.bwdBuf, slot, e.Dim)
 			}
+			row := e.bwdBuf[slot*e.Dim : (slot+1)*e.Dim]
 			for d := 0; d < e.Dim; d++ {
 				row[d] += scale * g[d]
 			}
 		}
 	}
-	rows := make([]int, 0, len(acc))
-	for r := range acc {
-		rows = append(rows, r)
-	}
+	rows := make([]int, len(e.bwdRows))
+	copy(rows, e.bwdRows)
 	sort.Ints(rows)
 	grads := tensor.New(len(rows), e.Dim)
 	for i, r := range rows {
-		copy(grads.Row(i), acc[r])
+		slot := e.bwdSlot[r]
+		copy(grads.Row(i), e.bwdBuf[slot*e.Dim:(slot+1)*e.Dim])
 	}
 	return &SparseGrad{Rows: rows, Grads: grads}
+}
+
+// growZeroRow extends buf to cover slot rows of dim floats and zeroes the
+// new slot's range (a reused arena carries stale values where the old
+// per-row make() carried zeros). Growth doubles to amortize reallocation.
+func growZeroRow(buf []float32, slot, dim int) []float32 {
+	need := (slot + 1) * dim
+	if need > len(buf) {
+		if need <= cap(buf) {
+			buf = buf[:need]
+		} else {
+			grown := make([]float32, need, 2*need)
+			copy(grown, buf)
+			buf = grown
+		}
+	}
+	row := buf[slot*dim : (slot+1)*dim]
+	for d := range row {
+		row[d] = 0
+	}
+	return buf
 }
 
 // LookupRows returns the raw (un-pooled) embeddings for a flat index list,

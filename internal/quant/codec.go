@@ -3,6 +3,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"dmt/internal/tensor"
 )
@@ -35,6 +36,11 @@ type Encoded struct {
 	// invariants depend on it); the wire charge remains the 4 bytes/row a
 	// production fp32-scale codec ships.
 	scales []float64
+
+	// Pool bookkeeping (see pool.go): pooled payloads carry a reference
+	// count and return their buffers for reuse on the last Release.
+	refs   atomic.Int32
+	pooled bool
 }
 
 // Scheme returns the scheme the payload was encoded under.
@@ -75,72 +81,100 @@ func linearLevels(s Scheme) float64 {
 // Encode serializes t under the scheme. None keeps a reference to t (the
 // in-process analog of sending the raw buffer); the other schemes copy into
 // the reduced representation and do not retain t.
+//
+// The returned payload is pooled: once every holder has called Release the
+// buffers are recycled, making steady-state encode allocation-free. Callers
+// that never Release simply leave the value to the garbage collector.
 func Encode(s Scheme, t *tensor.Tensor) *Encoded {
-	e := &Encoded{scheme: s}
+	e := getEncoded(s)
 	if s != None {
-		e.shape = append([]int(nil), t.Shape()...)
+		e.shape = append(e.shape[:0], t.Shape()...)
 	}
 	switch s {
 	case None:
 		e.raw = t
 	case FP16:
-		e.f16 = make([]uint16, t.Len())
+		e.f16 = grow(e.f16, t.Len())
 		for i, v := range t.Data() {
 			e.f16[i] = toFloat16Sat(v)
 		}
 	case INT8, INT4:
 		e.rows, e.width = linearGeometry(t)
+		e.scales = grow(e.scales, e.rows)
+		e.q = grow(e.q, t.Len())
 		levels := linearLevels(s)
-		e.scales = make([]float64, e.rows)
-		qs := make([]int8, t.Len())
 		for r := 0; r < e.rows; r++ {
 			src := t.Data()[r*e.width : (r+1)*e.width]
-			maxAbs := 0.0
-			for _, v := range src {
-				if a := math.Abs(float64(v)); a > maxAbs {
-					maxAbs = a
-				}
-			}
-			if maxAbs == 0 || math.IsInf(maxAbs, 1) {
-				// All-zero rows quantize to zero; non-finite rows cannot be
-				// scaled and are dropped to zero rather than poisoning the
-				// int8 conversion with NaN.
-				continue
-			}
-			scale := maxAbs / levels
-			e.scales[r] = scale
-			for i, v := range src {
-				q := math.Round(float64(v) / scale)
-				if math.IsNaN(q) {
-					q = 0
-				}
-				if q > levels {
-					q = levels
-				}
-				if q < -levels {
-					q = -levels
-				}
-				qs[r*e.width+i] = int8(q)
-			}
+			e.scales[r] = quantizeRow(src, e.q[r*e.width:(r+1)*e.width], levels)
 		}
-		if s == INT8 {
-			e.q = qs
-		} else {
-			// Pack signed nibbles biased by +8 (values -7..7 -> 1..15).
-			e.nib = make([]byte, (len(qs)+1)/2)
-			for i, v := range qs {
-				n := byte(v+8) & 0xf
-				if i%2 == 0 {
-					e.nib[i/2] = n
-				} else {
-					e.nib[i/2] |= n << 4
-				}
-			}
+		if s == INT4 {
+			// Pack signed nibbles biased by +8 (values -7..7 -> 1..15);
+			// e.q stays behind as pooled scratch, the wire is nib+scales.
+			e.nib = grow(e.nib, (t.Len()+1)/2)
+			packNibbles(e.q, e.nib)
 		}
 	default:
 		panic("quant: cannot encode unknown scheme " + s.String())
 	}
 	return e
+}
+
+// quantizeRow symmetric-linearly quantizes one row into q and returns its
+// scale. All-zero rows quantize to zero; non-finite rows cannot be scaled
+// and are dropped to zero rather than poisoning the int8 conversion with
+// NaN. Every element of q is written, so reused (pooled) buffers carry no
+// stale values.
+func quantizeRow(src []float32, q []int8, levels float64) float64 {
+	maxAbs := 0.0
+	for _, v := range src {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 1) {
+		for i := range q {
+			q[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / levels
+	for i, v := range src {
+		q[i] = quantizeVal(float64(v), scale, levels)
+	}
+	return scale
+}
+
+func quantizeVal(v, scale, levels float64) int8 {
+	q := math.Round(v / scale)
+	if math.IsNaN(q) {
+		q = 0
+	}
+	if q > levels {
+		q = levels
+	}
+	if q < -levels {
+		q = -levels
+	}
+	return int8(q)
+}
+
+// packNibbles packs signed int4 values two per byte, low nibble first,
+// biased by +8. Even indices assign the whole byte, so stale contents of a
+// reused nib buffer are overwritten.
+func packNibbles(qs []int8, nib []byte) {
+	for i, v := range qs {
+		n := byte(v+8) & 0xf
+		if i%2 == 0 {
+			nib[i/2] = n
+		} else {
+			nib[i/2] |= n << 4
+		}
+	}
+}
+
+// nibbleAt unpacks the i-th signed int4 value.
+func nibbleAt(nib []byte, i int) int8 {
+	return int8(nib[i/2]>>(uint(i%2)*4)&0xf) - 8
 }
 
 // Decode reconstructs the tensor as the receiver of the payload sees it.

@@ -1,0 +1,35 @@
+package quant
+
+import (
+	"testing"
+
+	"dmt/internal/tensor"
+)
+
+// BenchmarkHotpathCodec measures the per-bucket wire path of compressed
+// collectives: the fused quantize+encode+error-feedback pass against the
+// unfused clone/add/encode/decode/sub composition it replaces. Run with
+// -benchmem (`make bench-hotpath`): the headline is the allocs/op column.
+func BenchmarkHotpathCodec(b *testing.B) {
+	r := tensor.NewRNG(42)
+	g := tensor.RandUniform(r, -1, 1, 64, 257) // odd width keeps INT4 honest
+	res := tensor.RandUniform(r, -0.01, 0.01, 64, 257)
+	for _, s := range []Scheme{FP16, INT8, INT4} {
+		b.Run(s.String()+"/fused", func(b *testing.B) {
+			EncodeResidual(s, g, res).Release() // warm the pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := EncodeResidual(s, g, res)
+				e.Release()
+			}
+		})
+		b.Run(s.String()+"/unfused", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := unfusedEncodeResidual(s, g, res)
+				e.Release()
+			}
+		})
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package quant
+
+const raceEnabled = false

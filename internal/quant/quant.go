@@ -91,7 +91,10 @@ func Apply(s Scheme, t *tensor.Tensor) *tensor.Tensor {
 	if s == None {
 		return t
 	}
-	return Encode(s, t).Decode()
+	e := Encode(s, t)
+	out := e.Decode()
+	e.Release() // Decode copied; recycle the wire buffers immediately
+	return out
 }
 
 // Apply16 rounds every element to the nearest IEEE 754 half-precision

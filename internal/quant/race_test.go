@@ -1,0 +1,7 @@
+//go:build race
+
+package quant
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; its allocation shims break strict allocs-per-op pins.
+const raceEnabled = true

@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Over-arch layer shapes: the batched activations (m = batch) against the
+// wide MLP weight matrices the paper's dense tower is made of.
+var hotpathShapes = []struct{ m, k, n int }{
+	{256, 512, 512},
+	{512, 512, 512},
+}
+
+// BenchmarkHotpathMatMul compares the serial and parallel tiled backends at
+// over-arch shapes (`make bench-hotpath`); the before/after table in the
+// README's hot-path section comes from this run.
+func BenchmarkHotpathMatMul(b *testing.B) {
+	benchmarkKernels(b, func(k Kernel, a, w, out []float32, m, kk, n int) {
+		k.MatMul(a, w, out, m, kk, n)
+	})
+}
+
+// BenchmarkHotpathMatMulBT is the Linear-layer layout (weights stored
+// (out, in)): the serve predict path's kernel.
+func BenchmarkHotpathMatMulBT(b *testing.B) {
+	benchmarkKernels(b, func(k Kernel, a, w, out []float32, m, kk, n int) {
+		k.MatMulBT(a, w, out, m, kk, n)
+	})
+}
+
+func benchmarkKernels(b *testing.B, run func(k Kernel, a, w, out []float32, m, kk, n int)) {
+	for _, name := range []string{"serial", "parallel"} {
+		k := kernels[name]
+		for _, sh := range hotpathShapes {
+			b.Run(fmt.Sprintf("%s/m=%d,k=%d,n=%d", name, sh.m, sh.k, sh.n), func(b *testing.B) {
+				r := NewRNG(1)
+				a := RandUniform(r, -1, 1, sh.m, sh.k)
+				w := RandUniform(r, -1, 1, sh.k, sh.n)
+				out := New(sh.m, sh.n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out.Zero() // kernel contract: out arrives zero-filled
+					run(k, a.Data(), w.Data(), out.Data(), sh.m, sh.k, sh.n)
+				}
+			})
+		}
+	}
+}
+
+// TestHotpathParallelMatMulSpeedup is the bench-hotpath-check gate: at
+// over-arch shapes the parallel tiled backend must beat the serial kernel
+// by at least 1.5x for MatMul and MatMulBT. Timing takes the best of
+// several runs per backend to shrug off scheduler noise; single-core
+// environments skip (there is nothing to fan out over).
+func TestHotpathParallelMatMulSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skipf("GOMAXPROCS=%d: parallel speedup needs at least 2 procs", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	const m, k, n = 512, 512, 512
+	r := NewRNG(1)
+	a := RandUniform(r, -1, 1, m, k)
+	w := RandUniform(r, -1, 1, k, n)
+	wt := RandUniform(r, -1, 1, n, k)
+	serial, parallel := kernelPairs(t)
+	out := New(m, n)
+
+	bestOf := func(trials int, kr Kernel, op func(kr Kernel)) time.Duration {
+		op(kr) // warmup
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < trials; i++ {
+			out.Zero()
+			start := time.Now()
+			op(kr)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	check := func(name string, op func(kr Kernel)) {
+		ts := bestOf(5, serial, op)
+		tp := bestOf(5, parallel, op)
+		speedup := float64(ts) / float64(tp)
+		t.Logf("%s (m=%d k=%d n=%d, %d procs): serial %v, parallel %v — %.2fx",
+			name, m, k, n, runtime.GOMAXPROCS(0), ts, tp, speedup)
+		if speedup < 1.5 {
+			t.Errorf("%s: parallel backend is only %.2fx the serial kernel; the gate requires >= 1.5x",
+				name, speedup)
+		}
+	}
+	check("MatMul", func(kr Kernel) { kr.MatMul(a.Data(), w.Data(), out.Data(), m, k, n) })
+	check("MatMulBT", func(kr Kernel) { kr.MatMulBT(a.Data(), wt.Data(), out.Data(), m, k, n) })
+}

@@ -1,80 +1,108 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
-// parallelThreshold is the number of output elements above which matrix
-// multiplies fan out over goroutines. Small multiplies (the common case in
-// unit tests and tiny models) stay single-threaded to avoid scheduling cost.
-const parallelThreshold = 1 << 14
-
-// MatMul returns a @ b for a of shape (m, k) and b of shape (k, n).
+// MatMul returns a @ b for a of shape (m, k) and b of shape (k, n),
+// dispatched through the active kernel backend (see Kernel).
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shapes %v, %v", a.shape, b.shape))
 	}
 	m, k, n := a.shape[0], a.shape[1], b.shape[1]
 	out := New(m, n)
-	mulRows(m, func(i int) {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		// ikj loop order keeps the inner loop streaming over b's rows.
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}, m*n*k)
+	active.MatMul(a.data, b.data, out.data, m, k, n)
 	return out
 }
 
 // MatMulBT returns a @ bᵀ for a of shape (m, k) and b of shape (n, k).
 // This is the natural layout for Linear layers storing weights as
-// (outFeatures, inFeatures). Full 4-row blocks take a register-tiled
-// kernel: 16 independent accumulators break the dot product's loop-carried
-// dependency chain and each weight row is loaded once per 4 samples — the
-// kernel-level reason batched inference beats 4 single-sample calls. Every
-// output keeps the same p-order accumulation, so results are bitwise
-// identical across block shapes and batch sizes.
+// (outFeatures, inFeatures).
 func MatMulBT(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulBT shapes %v, %v", a.shape, b.shape))
 	}
 	m, k, n := a.shape[0], a.shape[1], b.shape[0]
 	out := New(m, n)
-	blocks := (m + 3) / 4
-	mulRows(blocks, func(bi int) {
-		lo := bi * 4
-		hi := lo + 4
-		if hi > m {
-			hi = m
-		}
-		if hi-lo == 4 {
-			matMulBT4(a.data[lo*k:hi*k], b.data, out.data[lo*n:hi*n], k, n)
-			return
-		}
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.data[j*k : (j+1)*k]
-				var s float32
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				orow[j] = s
+	active.MatMulBT(a.data, b.data, out.data, m, k, n)
+	return out
+}
+
+// MatMulAT returns aᵀ @ b for a of shape (k, m) and b of shape (k, n).
+// This is the weight-gradient kernel: dW = dYᵀ @ X in (out, in) layout.
+func MatMulAT(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulAT shapes %v, %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	active.MatMulAT(a.data, b.data, out.data, k, m, n)
+	return out
+}
+
+// BatchedPairwiseDot computes, for a (B, F, N) tensor, the pairwise dot
+// products between the F feature vectors of every sample: output (B, F, F)
+// with out[b,i,j] = <x[b,i,:], x[b,j,:]>. It is the interaction kernel of
+// DLRM; the paper notes a manual pairwise routine outperforms the generated
+// batched-GEMV kernel for this layout (§4), which is what this is.
+func BatchedPairwiseDot(x *Tensor) *Tensor {
+	if len(x.shape) != 3 {
+		panic("tensor: BatchedPairwiseDot requires a (B,F,N) tensor")
+	}
+	b, f, n := x.shape[0], x.shape[1], x.shape[2]
+	out := New(b, f, f)
+	active.PairwiseDot(x.data, out.data, b, f, n)
+	return out
+}
+
+// --- Shared row-range routines ---
+//
+// Both backends compute through the routines below, so the parallel tiled
+// kernel is bitwise identical to the serial one by construction: a tile is
+// just a row range, and every output element accumulates in the same
+// ascending-p order regardless of which worker owns its tile.
+
+// matMulRows computes rows [lo, hi) of a @ b. The ikj loop order keeps the
+// inner loop streaming over b's rows.
+func matMulRows(a, b, out []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := range orow {
+				orow[j] += av * brow[j]
 			}
 		}
-	}, m*n*k)
-	return out
+	}
+}
+
+// matMulBTRows computes rows [lo, hi) of a @ bᵀ. Full 4-row slabs take the
+// register-tiled kernel: 16 independent accumulators break the dot product's
+// loop-carried dependency chain and each weight row is loaded once per 4
+// samples — the kernel-level reason batched inference beats 4 single-sample
+// calls. Every output keeps the same p-order accumulation, so results are
+// bitwise identical across slab shapes and batch sizes.
+func matMulBTRows(a, b, out []float32, k, n, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		matMulBT4(a[i*k:(i+4)*k], b, out[i*n:(i+4)*n], k, n)
+	}
+	for ; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
 }
 
 // matMulBT4 computes a 4-row slab of a @ bᵀ: a is (4, k), b is (n, k),
@@ -127,79 +155,29 @@ func matMulBT4(a, b, out []float32, k, n int) {
 	}
 }
 
-// MatMulAT returns aᵀ @ b for a of shape (k, m) and b of shape (k, n).
-// This is the weight-gradient kernel: dW = dYᵀ @ X in (out, in) layout.
-func MatMulAT(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulAT shapes %v, %v", a.shape, b.shape))
-	}
-	k, m, n := a.shape[0], a.shape[1], b.shape[1]
-	out := New(m, n)
-	mulRows(m, func(i int) {
-		orow := out.data[i*n : (i+1)*n]
+// matMulATRows computes output rows [lo, hi) of aᵀ @ b for a (k, m), b (k, n).
+func matMulATRows(a, b, out []float32, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := out[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
-			av := a.data[p*m+i]
+			av := a[p*m+i]
 			if av == 0 {
 				continue
 			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
+			brow := b[p*n : (p+1)*n]
+			for j := range orow {
 				orow[j] += av * brow[j]
 			}
 		}
-	}, m*n*k)
-	return out
+	}
 }
 
-// mulRows runs body(i) for i in [0, m), in parallel when work (a rough flop
-// count) exceeds parallelThreshold.
-func mulRows(m int, body func(i int), work int) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers <= 1 || m <= 1 {
-		for i := 0; i < m; i++ {
-			body(i)
-		}
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// BatchedPairwiseDot computes, for a (B, F, N) tensor, the pairwise dot
-// products between the F feature vectors of every sample: output (B, F, F)
-// with out[b,i,j] = <x[b,i,:], x[b,j,:]>. It is the interaction kernel of
-// DLRM; the paper notes a manual pairwise routine outperforms the generated
-// batched-GEMV kernel for this layout (§4), which is what this is.
-func BatchedPairwiseDot(x *Tensor) *Tensor {
-	if len(x.shape) != 3 {
-		panic("tensor: BatchedPairwiseDot requires a (B,F,N) tensor")
-	}
-	b, f, n := x.shape[0], x.shape[1], x.shape[2]
-	out := New(b, f, f)
-	mulRows(b, func(s int) {
-		base := x.data[s*f*n : (s+1)*f*n]
-		obase := out.data[s*f*f : (s+1)*f*f]
+// pairwiseDotSamples computes samples [lo, hi) of the batched pairwise-dot
+// interaction.
+func pairwiseDotSamples(x, out []float32, f, n, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		base := x[s*f*n : (s+1)*f*n]
+		obase := out[s*f*f : (s+1)*f*f]
 		for i := 0; i < f; i++ {
 			vi := base[i*n : (i+1)*n]
 			for j := i; j < f; j++ {
@@ -212,6 +190,28 @@ func BatchedPairwiseDot(x *Tensor) *Tensor {
 				obase[j*f+i] = dot
 			}
 		}
-	}, b*f*f*n)
-	return out
+	}
+}
+
+// serialKernel is the single-threaded reference backend: the baseline the
+// parallel backend is pinned against, and the fallback for single-core runs
+// (DMT_KERNEL=serial).
+type serialKernel struct{}
+
+func (serialKernel) Name() string { return "serial" }
+
+func (serialKernel) MatMul(a, b, out []float32, m, k, n int) {
+	matMulRows(a, b, out, k, n, 0, m)
+}
+
+func (serialKernel) MatMulBT(a, b, out []float32, m, k, n int) {
+	matMulBTRows(a, b, out, k, n, 0, m)
+}
+
+func (serialKernel) MatMulAT(a, b, out []float32, k, m, n int) {
+	matMulATRows(a, b, out, k, m, n, 0, m)
+}
+
+func (serialKernel) PairwiseDot(x, out []float32, bs, f, n int) {
+	pairwiseDotSamples(x, out, f, n, 0, bs)
 }
