@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-embtier bench-embtier-check bench-cluster bench-cluster-check bench-hotpath bench-hotpath-check fuzz-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-pipeline bench-pipeline-check bench-embtier bench-embtier-check bench-cluster bench-cluster-check bench-hotpath bench-hotpath-check fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,26 @@ bench-latency:
 # bit-for-bit deterministic.
 bench-latency-check:
 	$(GO) test -run '^TestFigure13Measured$$' -v ./internal/experiments
+
+# The cross-step pipelining table (dmt-bench -exp pipeline): the overlapped
+# vs pipelined schedules on the simulated A100 fabric at the wide-over-arch
+# profile, where the gradient-bucket drain outlasts the SPTT backward
+# window and the boundary actually costs exposed time.
+bench-pipeline:
+	$(GO) run ./cmd/dmt-bench -exp pipeline
+
+# CI gate behind the cross-step schedule: (a) the measured-table acceptance
+# test — pipelined exposed comm strictly below the overlapped baseline at
+# G=8 for fp32 and fp16, cross-step bucket completion actually hidden, the
+# trajectory schedule-invariant, the table deterministic — and (b) the
+# rendered table byte-identical across runs and GOMAXPROCS settings.
+bench-pipeline-check:
+	$(GO) test -run '^TestPipelineMeasured$$' -v ./internal/experiments
+	$(GO) run ./cmd/dmt-bench -exp pipeline > bench-pipeline-1.out
+	GOMAXPROCS=2 $(GO) run ./cmd/dmt-bench -exp pipeline > bench-pipeline-2.out
+	@cmp bench-pipeline-1.out bench-pipeline-2.out || { echo "bench-pipeline-check: FAIL - table differs across GOMAXPROCS"; exit 1; }
+	@echo "bench-pipeline-check: table byte-identical across runs and GOMAXPROCS"
+	@rm -f bench-pipeline-1.out bench-pipeline-2.out
 
 # The disaggregated embedding tier's memory:compute sweep (dmt-bench -exp
 # embtier): local tables vs 1/2/4 dedicated embedding-server ranks, hot-ID

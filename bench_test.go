@@ -355,25 +355,34 @@ func BenchmarkSPTT_TransformDataflow(b *testing.B) {
 // are MODELED virtual-clock milliseconds — deterministic, wire-byte-driven
 // — while ns/op still measures real execution cost (the simulation's
 // overhead is part of it).
+//
+// The pipeline variants run the cross-step schedule: step N's gradient
+// buckets complete behind step N+1's SPTT forward, with the deferred tail
+// drained after the timed loop before the stats are read.
 func BenchmarkDistributedStep(b *testing.B) {
 	for _, g := range []int{4, 8} {
 		for _, mode := range []struct {
 			name       string
 			sequential bool
 			overlap    bool
+			pipeline   bool
 			compress   quant.Scheme
 			latency    bool
 		}{
-			{"sequential", true, false, quant.None, false},
-			{"rank-parallel", false, false, quant.None, false},
-			{"overlap", false, true, quant.None, false},
-			{"rank-parallel/fp16", false, false, quant.FP16, false},
-			{"overlap/fp16", false, true, quant.FP16, false},
-			{"rank-parallel/int8", false, false, quant.INT8, false},
-			{"latency/fp32", false, false, quant.None, true},
-			{"latency-overlap/fp32", false, true, quant.None, true},
-			{"latency/fp16", false, false, quant.FP16, true},
-			{"latency-overlap/fp16", false, true, quant.FP16, true},
+			{"sequential", true, false, false, quant.None, false},
+			{"rank-parallel", false, false, false, quant.None, false},
+			{"overlap", false, true, false, quant.None, false},
+			{"pipeline", false, false, true, quant.None, false},
+			{"rank-parallel/fp16", false, false, false, quant.FP16, false},
+			{"overlap/fp16", false, true, false, quant.FP16, false},
+			{"pipeline/fp16", false, false, true, quant.FP16, false},
+			{"rank-parallel/int8", false, false, false, quant.INT8, false},
+			{"latency/fp32", false, false, false, quant.None, true},
+			{"latency-overlap/fp32", false, true, false, quant.None, true},
+			{"latency-pipeline/fp32", false, false, true, quant.None, true},
+			{"latency/fp16", false, false, false, quant.FP16, true},
+			{"latency-overlap/fp16", false, true, false, quant.FP16, true},
+			{"latency-pipeline/fp16", false, false, true, quant.FP16, true},
 		} {
 			if (mode.compress != quant.None || mode.latency) && g != 8 {
 				continue // compressed and simulated variants only at the larger scale
@@ -383,6 +392,7 @@ func BenchmarkDistributedStep(b *testing.B) {
 				p.G = g
 				p.Compress = mode.compress
 				p.Overlap = mode.overlap
+				p.Pipeline = mode.pipeline
 				if mode.latency {
 					p.Fabric = netsim.New(topology.A100)
 				}
@@ -403,6 +413,7 @@ func BenchmarkDistributedStep(b *testing.B) {
 					tr.Step(sets[i%nSets])
 				}
 				b.StopTimer()
+				tr.Drain() // fold the pipelined tail into the stats; no-op otherwise
 				st := tr.Stats()
 				b.ReportMetric(float64(st.Steps)/b.Elapsed().Seconds(), "steps/s")
 				perStepMS := func(d time.Duration) float64 {

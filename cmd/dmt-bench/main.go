@@ -11,6 +11,7 @@
 //	dmt-bench -exp train -compress fp16  # measured training over a quantized wire
 //	dmt-bench -exp train -overlap      # add the overlapped engine row
 //	dmt-bench -exp fig13 -gen h100     # measured component latencies on a simulated fabric
+//	dmt-bench -exp pipeline            # cross-step pipelining vs the overlapped schedule
 //	dmt-bench -exp embtier             # disaggregated embedding tier memory:compute sweep
 //	dmt-bench -list                    # list experiment names
 //
@@ -33,6 +34,13 @@
 // The table's exposed/hidden columns show how much communication the
 // schedule moved off the critical path; the trajectory stays bitwise
 // identical to the blocking engines.
+//
+// -pipeline adds a cross-step pipelined row to `train` instead: the
+// overlapped schedule extended across step boundaries, with step N's
+// gradient buckets completing behind step N+1's SPTT forward. The
+// `pipeline` experiment measures the same schedule on the simulated
+// fabric, where the boundary-drain saving is a deterministic virtual-clock
+// quantity (the bench-pipeline CI gate).
 package main
 
 import (
@@ -56,6 +64,9 @@ var compress quant.Scheme
 // overlap adds the overlapped-engine row to the train experiment.
 var overlap bool
 
+// pipeline adds the cross-step pipelined row to the train experiment.
+var pipeline bool
+
 // gen is the hardware generation selected by -gen for the experiments that
 // simulate a fabric (fig13).
 var gen topology.Generation
@@ -71,9 +82,10 @@ var runners = map[string]func() string{
 	"fig11": func() string {
 		return experiments.FormatSpeedups("Figure 11: Speedup of Tower Modules over SPTT (DLRM)", experiments.Figure11())
 	},
-	"fig12":   func() string { return experiments.FormatFigure12(experiments.Figure12()) },
-	"fig13":   func() string { return experiments.FormatFigure13(experiments.Figure13(gen)) },
-	"embtier": func() string { return experiments.FormatEmbTier(experiments.EmbTier(gen)) },
+	"fig12":    func() string { return experiments.FormatFigure12(experiments.Figure12()) },
+	"fig13":    func() string { return experiments.FormatFigure13(experiments.Figure13(gen)) },
+	"pipeline": func() string { return experiments.FormatPipeline(experiments.Pipeline(gen)) },
+	"embtier":  func() string { return experiments.FormatEmbTier(experiments.EmbTier(gen)) },
 	"fig13model": func() string {
 		return experiments.FormatFigure13Model(experiments.Figure13Model())
 	},
@@ -83,6 +95,7 @@ var runners = map[string]func() string{
 		p := experiments.DefaultTraining()
 		p.Compress = compress
 		p.Overlap = overlap
+		p.Pipeline = pipeline
 		out := experiments.FormatTraining(experiments.TrainingThroughput(p))
 		if compress != quant.None {
 			out += experiments.FormatCompression(
@@ -99,7 +112,7 @@ var runners = map[string]func() string{
 }
 
 // order fixes the presentation sequence for the "run everything" mode.
-var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13model", "fig13", "embtier", "quant", "khost", "train", "timeline"}
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13model", "fig13", "pipeline", "embtier", "quant", "khost", "train", "timeline"}
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
@@ -107,6 +120,7 @@ func main() {
 	scheme := flag.String("compress", "fp32", "wire scheme for train/fig6 (fp32, fp16, int8, int4)")
 	genName := flag.String("gen", "a100", "hardware generation for the simulated fabric (v100, a100, h100)")
 	flag.BoolVar(&overlap, "overlap", false, "measure the overlapped engine in the train experiment")
+	flag.BoolVar(&pipeline, "pipeline", false, "measure the cross-step pipelined engine in the train experiment")
 	flag.Parse()
 
 	var err error

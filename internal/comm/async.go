@@ -37,7 +37,24 @@ type Pending[T any] struct {
 	issuedVT int64
 	fn       func() T
 	done     bool
+	carried  bool
 	v        T
+}
+
+// Carry marks the handle as deliberately left in flight across a logical
+// step boundary. It does not change Wait semantics — the handle must still
+// be waited by this rank (or a later goroutine for the same rank, sequenced
+// by a Run join), in issue order, before any blocking collective runs on
+// the group. What it changes is bookkeeping: the rank's idle guards
+// (checkIdle, AssertDrained) report carried handles as pipelined rather
+// than leaked, so a cross-step schedule can hold gradient buckets open into
+// the next step without tripping the leak diagnostics.
+func (p *Pending[T]) Carry() {
+	if p.done || p.carried {
+		return
+	}
+	p.carried = true
+	p.c.carried++
 }
 
 func newPending[T any](c *Comm, fn func() T) *Pending[T] {
@@ -65,6 +82,10 @@ func (p *Pending[T]) Wait() T {
 		return p.v
 	}
 	c := p.c
+	if p.carried {
+		p.carried = false
+		c.carried--
+	}
 	if p.ticket != c.waitSeq {
 		panic(fmt.Sprintf("comm: rank %d waited collective #%d while #%d is still pending (handles must be waited in issue order)",
 			c.rank, p.ticket, c.waitSeq))

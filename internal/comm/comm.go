@@ -82,8 +82,13 @@ type Comm struct {
 	// Issue/wait sequence numbers for Pending handles and the per-rank
 	// exposed/hidden time counters. Touched only by this rank's goroutine;
 	// read by others only after the rank goroutines have been joined.
-	issueSeq  uint64
-	waitSeq   uint64
+	issueSeq uint64
+	waitSeq  uint64
+	// carried counts the pending handles deliberately marked as spanning a
+	// step boundary (Pending.Carry) so the idle guards can tell a pipelined
+	// handle apart from a leaked one. Same ownership rule as the sequence
+	// numbers above.
+	carried   uint64
 	exposedNS int64
 	hiddenNS  int64
 	// hiddenFrontier is the end of the latest wall-clock hidden window
@@ -515,8 +520,31 @@ func (c *Comm) ReduceScatterSum(chunks []*tensor.Tensor) *tensor.Tensor {
 // mailboxes, so the guard fails the call loudly BEFORE the wire is touched.
 func (c *Comm) checkIdle(op string) {
 	if c.waitSeq != c.issueSeq {
+		n := c.issueSeq - c.waitSeq
+		if c.carried > 0 {
+			panic(fmt.Sprintf("comm: rank %d called %s with %d pending handle(s) unwaited (%d carried across a step boundary — finish the pipelined step before issuing blocking collectives)",
+				c.rank, op, n, c.carried))
+		}
 		panic(fmt.Sprintf("comm: rank %d called %s with %d pending handle(s) unwaited",
-			c.rank, op, c.issueSeq-c.waitSeq))
+			c.rank, op, n))
+	}
+}
+
+// Carried reports how many of this rank's pending handles are marked as
+// deliberately spanning a step boundary (Pending.Carry). Same read rule as
+// Times: valid after the rank goroutines have been joined.
+func (c *Comm) Carried() int { return int(c.carried) }
+
+// AssertDrained panics if any rank of comms still has unwaited Pending
+// handles. The cross-step pipelined trainer calls it after its drain pass:
+// at that point even carried handles must have been waited, so anything
+// left is a leak regardless of the Carry marking.
+func AssertDrained(comms []*Comm) {
+	for _, c := range comms {
+		if n := c.issueSeq - c.waitSeq; n > 0 {
+			panic(fmt.Sprintf("comm: rank %d has %d unwaited handle(s) after drain (%d marked carried)",
+				c.rank, n, c.carried))
+		}
 	}
 }
 

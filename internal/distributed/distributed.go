@@ -69,11 +69,31 @@ type Config struct {
 	// bitwise identical to the sequential and rank-parallel engines.
 	// Mutually exclusive with Sequential.
 	Overlap bool
+	// Pipeline selects the cross-step pipelined schedule (pipeline.go) at
+	// the given depth: the overlapped schedule extended across step
+	// boundaries, so step N's gradient buckets complete while step N+1's
+	// SPTT step (f) peer AlltoAll and bottom-MLP forward are already
+	// running, and the reverse peer AlltoAll hides under the bottom-MLP
+	// backward via the backward-side sptt hook. Supported depths are 0
+	// (off) and 1 (buckets span one boundary). The over-arch Adam update
+	// moves behind the boundary with them — still applied before the
+	// parameters are read, so the trajectory stays bitwise identical to
+	// the sequential engine; Trainer.Drain (called by Close) completes the
+	// final step's carried work. Requires conflict-free table ownership,
+	// asserted at plan time — on a conflict the trainer falls back to the
+	// overlapped schedule (see PipelineFallback). Mutually exclusive with
+	// Sequential and with Overlap.
+	Pipeline int
 	// BucketBytes caps how many gradient bytes one overlapped AllReduce
 	// bucket carries. Parameters are always grouped whole: encoding
 	// boundaries must match the golden per-parameter trajectory, or
 	// compressed runs would quantize over different row structures and
-	// break bitwise identity. 0 means 64 KiB.
+	// break bitwise identity. 0 means 64 KiB. Degenerate values are
+	// clamped rather than rejected: any cap <= 0 falls back to the 64 KiB
+	// default, and a cap smaller than a parameter's own gradient bytes
+	// degrades to one-parameter buckets (a parameter larger than the cap
+	// always gets a bucket to itself, and nothing shares it) — the plan
+	// stays a valid whole-parameter cover in every case.
 	BucketBytes int
 	// Compression selects wire compression for the engine's collectives.
 	// The zero value (both schemes None) keeps the engine bitwise identical
@@ -133,9 +153,16 @@ type Trainer struct {
 	engine   *sptt.Engine
 	replicas []*models.DMTDLRM
 	modules  []sptt.TowerModule
-	// each rank's optimizer: identical state keeps replicas in lockstep.
-	denseOpts []*nn.Adam
-	loss      []*nn.BCEWithLogits
+	// Each rank's dense optimizers: identical state keeps replicas in
+	// lockstep. The over-arch and tower-module parameter sets get separate
+	// Adam instances because the pipelined schedule applies their updates
+	// in different phases (over-arch behind the step boundary, tower
+	// module inside the step). nn.Adam state is per-parameter and the two
+	// sets are disjoint, so splitting the optimizer is value-neutral: each
+	// parameter sees the same t/m/v sequence as under one fused instance.
+	overOpts []*nn.Adam
+	tmOpts   []*nn.Adam
+	loss     []*nn.BCEWithLogits
 	// tier is the embedding backend: a LocalTier wrapping the engine's
 	// tables, or a RemoteTier of dedicated server ranks
 	// (Config.EmbeddingTier). Sparse optimizer state lives inside it.
@@ -179,6 +206,12 @@ type Trainer struct {
 	// gradient buckets, so steady-state bucket assembly allocates nothing
 	// (see launchBucket). Unused by the sequential reference path.
 	arenas []bucketArena
+
+	// Cross-step pipelining state (Config.Pipeline): the previous step's
+	// still-in-flight gradient buckets, and the fallback reason when the
+	// plan-time conflict assertion rejected pipelining.
+	carry            *pipelineCarry
+	pipelineFallback string
 }
 
 // bucketArena is one rank's reusable bucket-assembly scratch. Reuse across
@@ -222,6 +255,13 @@ type PhaseTimes struct {
 	// union), so a rank's hidden time never exceeds the time it actually
 	// executed.
 	HiddenComm time.Duration
+	// CrossStepExposed/CrossStepHidden sub-attribute the pipelined
+	// schedule's carried gradient buckets: of the completing step's
+	// ExposedComm/HiddenComm, the share spent finishing buckets launched
+	// by the PREVIOUS step (Config.Pipeline). They are a breakdown of the
+	// totals above, not additive to them; zero for the other schedules.
+	CrossStepExposed time.Duration
+	CrossStepHidden  time.Duration
 }
 
 // SimTimes is the simulated-latency decomposition, accumulated only when
@@ -242,6 +282,12 @@ type SimTimes struct {
 	SPTTFwdHidden  time.Duration
 	SPTTBwdExposed time.Duration
 	SPTTBwdHidden  time.Duration
+	// Cross-step carried-bucket exposure (mirrors
+	// PhaseTimes.CrossStepExposed/Hidden in modeled virtual time): what
+	// the previous step's gradient buckets cost / hid when the pipelined
+	// schedule completed them under the next step's forward.
+	CrossStepExposed time.Duration
+	CrossStepHidden  time.Duration
 }
 
 // Stats reports cumulative step counts, per-phase times, and gradient /
@@ -296,6 +342,15 @@ func New(cfg Config) (*Trainer, error) {
 	if cfg.Overlap && cfg.Sequential {
 		return nil, fmt.Errorf("distributed: Overlap requires the rank-parallel engine (Sequential=false)")
 	}
+	if cfg.Pipeline < 0 || cfg.Pipeline > 1 {
+		return nil, fmt.Errorf("distributed: Pipeline depth %d unsupported (0 disables, 1 spans one step boundary)", cfg.Pipeline)
+	}
+	if cfg.Pipeline > 0 && cfg.Sequential {
+		return nil, fmt.Errorf("distributed: Pipeline requires the rank-parallel engine (Sequential=false)")
+	}
+	if cfg.Pipeline > 0 && cfg.Overlap {
+		return nil, fmt.Errorf("distributed: Pipeline and Overlap are distinct schedules; set at most one")
+	}
 	ordered, towerOf, rankOf, err := TowersInHostOrder(cfg.Model.Towers, cfg.Model.Schema.NumSparse(), cfg.L)
 	if err != nil {
 		return nil, err
@@ -307,7 +362,8 @@ func New(cfg Config) (*Trainer, error) {
 		m := models.NewDMTDLRM(cfg.Model)
 		tr.replicas = append(tr.replicas, m)
 		tr.modules = append(tr.modules, m.TMs[g/cfg.L])
-		tr.denseOpts = append(tr.denseOpts, nn.NewAdam(cfg.DenseLR))
+		tr.overOpts = append(tr.overOpts, nn.NewAdam(cfg.DenseLR))
+		tr.tmOpts = append(tr.tmOpts, nn.NewAdam(cfg.DenseLR))
 		tr.loss = append(tr.loss, &nn.BCEWithLogits{})
 	}
 	for g := 0; g < cfg.G; g++ {
@@ -411,6 +467,11 @@ func New(cfg Config) (*Trainer, error) {
 			}
 		}
 	}
+	if cfg.Pipeline > 0 {
+		if err := tr.pipelinePlanCheck(); err != nil {
+			tr.pipelineFallback = err.Error()
+		}
+	}
 	return tr, nil
 }
 
@@ -503,10 +564,14 @@ func (tr *Trainer) Stats() Stats {
 // Tier exposes the embedding tier (test and diagnostics hook).
 func (tr *Trainer) Tier() embeddings.Tier { return tr.tier }
 
-// Close tears the trainer down: it stops the embedding tier's server
-// goroutines (a no-op for the in-process tier). The trainer must not be
-// stepped after Close.
-func (tr *Trainer) Close() { tr.tier.Close() }
+// Close tears the trainer down: it completes any cross-step carried work
+// (Drain, a no-op outside the pipelined schedule) and stops the embedding
+// tier's server goroutines (a no-op for the in-process tier). The trainer
+// must not be stepped after Close.
+func (tr *Trainer) Close() {
+	tr.Drain()
+	tr.tier.Close()
+}
 
 // StepResult summarizes one distributed step.
 type StepResult struct {
@@ -529,7 +594,10 @@ func (tr *Trainer) Step(batches []*data.Batch) StepResult {
 	if cfg.Sequential {
 		return tr.stepSequential(batches, inputs)
 	}
-	if cfg.Overlap {
+	if cfg.Pipeline > 0 && tr.pipelineFallback == "" {
+		return tr.stepPipelined(batches, inputs)
+	}
+	if cfg.Overlap || cfg.Pipeline > 0 {
 		return tr.stepOverlapped(batches, inputs)
 	}
 	return tr.stepParallel(batches, inputs)
@@ -731,9 +799,8 @@ func (tr *Trainer) scaleRank(g int, sparse map[int]*nn.SparseGrad, invG float32)
 // and its own tower module, plus the owner's sparse updates through the
 // embedding tier. Common to the blocking and overlapped schedules.
 func (tr *Trainer) updateRank(g int, sparse map[int]*nn.SparseGrad) {
-	params := append(append([]*nn.Param(nil), tr.replicas[g].OverArchParams()...),
-		tr.modules[g].Params()...)
-	tr.denseOpts[g].Step(params)
+	tr.overOpts[g].Step(tr.replicas[g].OverArchParams())
+	tr.tmOpts[g].Step(tr.modules[g].Params())
 	tr.applySparse(g, sparse)
 }
 
@@ -824,8 +891,8 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 	gradEx := lap()
 
 	for g := 0; g < cfg.G; g++ {
-		params := append(append([]*nn.Param(nil), overArch[g]...), tr.modules[g].Params()...)
-		tr.denseOpts[g].Step(params)
+		tr.overOpts[g].Step(overArch[g])
+		tr.tmOpts[g].Step(tr.modules[g].Params())
 	}
 	// Sparse updates go through the tier in ascending rank order — the
 	// fixed schedule a remote tier's servers round-robin on (and, per
@@ -873,6 +940,8 @@ func (tr *Trainer) account(st *sptt.SPTTState, ph PhaseTimes) {
 	tr.stats.Phases.Update += ph.Update
 	tr.stats.Phases.ExposedComm += ph.ExposedComm
 	tr.stats.Phases.HiddenComm += ph.HiddenComm
+	tr.stats.Phases.CrossStepExposed += ph.CrossStepExposed
+	tr.stats.Phases.CrossStepHidden += ph.CrossStepHidden
 	if tr.net != nil {
 		g := time.Duration(tr.cfg.G)
 		tr.stats.Sim.DenseFwd += tr.bottomFwd + tr.topFwd
@@ -881,6 +950,8 @@ func (tr *Trainer) account(st *sptt.SPTTState, ph PhaseTimes) {
 		tr.stats.Sim.SPTTFwdHidden += st.HiddenComm / g
 		tr.stats.Sim.SPTTBwdExposed += st.BwdExposedComm / g
 		tr.stats.Sim.SPTTBwdHidden += st.BwdHiddenComm / g
+		tr.stats.Sim.CrossStepExposed += ph.CrossStepExposed
+		tr.stats.Sim.CrossStepHidden += ph.CrossStepHidden
 	}
 	for _, m := range [][][]int64{
 		st.GlobalTraffic, st.HostTraffic, st.PeerTraffic,

@@ -72,13 +72,17 @@ func TestLatencyTrajectoryMatchesGolden(t *testing.T) {
 		cfg.Compression = Compression{Gradient: compress, Embedding: compress}
 		golden, goldenLoss := runSteps(t, cfg, gen, steps)
 
-		for _, mode := range []string{"sequential", "rank-parallel", "overlap"} {
+		for _, mode := range []string{"sequential", "rank-parallel", "overlap", "pipeline"} {
 			cfg, gen := latencySetup(1)
 			cfg.Sequential = mode == "sequential"
 			cfg.Overlap = mode == "overlap"
+			if mode == "pipeline" {
+				cfg.Pipeline = 1
+			}
 			cfg.Compression = Compression{Gradient: compress, Embedding: compress}
 			cfg.Fabric = netsim.New(topology.A100)
 			tr, losses := runSteps(t, cfg, gen, steps)
+			tr.Drain() // completes the pipelined tail; no-op for the rest
 
 			for s := range losses {
 				if losses[s] != goldenLoss[s] {

@@ -1,0 +1,344 @@
+package distributed
+
+import (
+	"fmt"
+	"time"
+
+	"dmt/internal/comm"
+	"dmt/internal/data"
+	"dmt/internal/sptt"
+	"dmt/internal/tensor"
+)
+
+// The cross-step pipelined schedule (Config.Pipeline): the overlapped
+// schedule extended across step boundaries. PR 4/5 hide communication
+// inside a step; the remaining exposed floor is the step boundary itself,
+// where the over-arch gradient buckets drain while the next step's SPTT
+// forward sits idle. This schedule removes that barrier:
+//
+//   - Step N's gradient buckets are NOT completed at the end of step N.
+//     They are marked carried (Pending.Carry) and stay in flight while
+//     step N+1's SPTT forward runs — its step (f) peer AlltoAll and
+//     bottom-MLP forward literally execute while step N's buckets
+//     complete. The buckets are finished inside step N+1's forward-side
+//     Overlap hook (between posting step (f) and waiting on it), followed
+//     immediately by the deferred over-arch Adam step, so the parameters
+//     are current before ForwardBottom reads them.
+//   - The reverse step (f) peer AlltoAll of the SPTT backward is posted
+//     before the bottom-MLP backward via the backward-side hook
+//     (sptt.Comms.BwdOverlap): BackwardBottom and the bottom-bucket
+//     launches run while the return transfer is in flight, hiding it the
+//     same way the forward hop hides under ForwardBottom.
+//
+// Why this is legal, and bitwise identical to the sequential engine:
+//
+//   - Independence. Step N+1's SPTT forward touches embedding tables and
+//     tower-module parameters; the carried work touches over-arch
+//     parameters. The sets are disjoint (asserted at plan time, along
+//     with exact table-ownership partitioning — pipelinePlanCheck), so
+//     reordering the over-arch update behind the boundary changes no
+//     value any concurrent reader observes.
+//   - Update placement. The over-arch Adam step still runs after the
+//     bucket averages land and before ForwardBottom reads the
+//     parameters — the same read-after-update dataflow as every other
+//     engine, just later in wall/virtual time. Splitting the dense Adam
+//     into over-arch and tower-module instances is value-neutral:
+//     nn.Adam state is per parameter and the two sets are disjoint.
+//   - Wire format. Carried handles are waited in issue order by a later
+//     goroutine of the same rank, sequenced by Run joins, before any new
+//     collective is issued on the world group — exactly the Pending
+//     contract. Arena reuse stays safe because every rank's carried
+//     buckets are finished inside the SPTT forward, which joins before
+//     any rank launches step N+1's buckets.
+//
+// The price is one deferred tail: after the last step, Drain (called by
+// Close) completes the final carried buckets and update. Per boundary the
+// bucket drain that the overlapped schedule exposes after every SPTT
+// backward is instead absorbed by the next step's forward, so over S steps
+// the schedule pays the residual exposure once instead of S times.
+
+// pipelineCarry is the cross-step state: the previous step's in-flight
+// gradient buckets, per rank, in launch order.
+type pipelineCarry struct {
+	inflight [][]pendingBucket
+}
+
+// carry marks the bucket's handle as deliberately spanning a step boundary
+// so the comm runtime's leak guards report it as pipelined, not leaked.
+func (pb pendingBucket) carry() {
+	if pb.h != nil {
+		pb.h.Carry()
+		return
+	}
+	pb.hEnc.Carry()
+}
+
+// pipelineConflictInject, when non-nil, is consulted by pipelinePlanCheck
+// after the structural assertions — test seam for the fallback path, since
+// trainers built through New can never actually conflict (the SPTT config
+// derives ownership from a validated partition).
+var pipelineConflictInject func(tr *Trainer) error
+
+// pipelinePlanCheck asserts the independence the cross-step schedule rests
+// on: per rank, the over-arch parameters (updated behind the step boundary)
+// share no tensors with the tower-module parameters (read by the next
+// step's forward), and the embedding tables are owned by exactly one rank
+// each, so step N+1's lookups never race step N's deferred update path. A
+// violation disables pipelining (Trainer falls back to the overlapped
+// schedule) rather than risking a silent value divergence.
+func (tr *Trainer) pipelinePlanCheck() error {
+	for g := 0; g < tr.cfg.G; g++ {
+		over := make(map[*tensor.Tensor]string)
+		for _, p := range tr.replicas[g].OverArchParams() {
+			over[p.Value] = p.Name
+		}
+		for _, p := range tr.modules[g].Params() {
+			if name, ok := over[p.Value]; ok {
+				return fmt.Errorf("distributed: pipeline conflict: rank %d tower-module param %s aliases over-arch param %s", g, p.Name, name)
+			}
+		}
+	}
+	owned := make([][]int, tr.cfg.G)
+	for g := 0; g < tr.cfg.G; g++ {
+		owned[g] = tr.engine.Cfg.OwnedFeatures(g)
+	}
+	if err := checkOwnershipPartition(owned, tr.cfg.Model.Schema.NumSparse()); err != nil {
+		return err
+	}
+	if pipelineConflictInject != nil {
+		return pipelineConflictInject(tr)
+	}
+	return nil
+}
+
+// checkOwnershipPartition verifies that owned (per-rank table lists) is an
+// exact partition of the nf tables: every table claimed by exactly one
+// rank. Any overlap would let step N's deferred update path race step
+// N+1's lookups on a shared table, so a violation disables pipelining.
+func checkOwnershipPartition(owned [][]int, nf int) error {
+	owner := make([]int, nf)
+	for f := range owner {
+		owner[f] = -1
+	}
+	for g := range owned {
+		for _, f := range owned[g] {
+			if f < 0 || f >= nf {
+				return fmt.Errorf("distributed: pipeline conflict: rank %d owns out-of-range table %d", g, f)
+			}
+			if owner[f] >= 0 {
+				return fmt.Errorf("distributed: pipeline conflict: table %d owned by ranks %d and %d", f, owner[f], g)
+			}
+			owner[f] = g
+		}
+	}
+	for f, g := range owner {
+		if g < 0 {
+			return fmt.Errorf("distributed: pipeline conflict: table %d has no owner", f)
+		}
+	}
+	return nil
+}
+
+// PipelineActive reports whether the cross-step pipelined schedule is in
+// effect (Config.Pipeline > 0 and the plan-time conflict check passed).
+func (tr *Trainer) PipelineActive() bool {
+	return tr.cfg.Pipeline > 0 && tr.pipelineFallback == ""
+}
+
+// PipelineFallback returns the plan-time conflict that disabled pipelining
+// (empty when pipelining is active or was never requested). A trainer with
+// a fallback reason runs the overlapped schedule instead.
+func (tr *Trainer) PipelineFallback() string { return tr.pipelineFallback }
+
+// stepPipelined is the cross-step pipelined engine. Structurally it is
+// stepOverlapped with three moves: the previous step's buckets finish (and
+// the deferred over-arch update applies) inside the SPTT forward's Overlap
+// hook, the bottom-MLP backward and bottom-bucket launches move into the
+// SPTT backward's BwdOverlap hook (hiding the reverse peer AlltoAll), and
+// this step's buckets are left in flight — carried — for the next step.
+func (tr *Trainer) stepPipelined(batches []*data.Batch, inputs []*sptt.Inputs) StepResult {
+	cfg := tr.cfg
+	lap := tr.phaseClock()
+	invG := 1 / float32(cfg.G)
+
+	carry := tr.carry
+	tr.carry = nil
+	crossE := make([]time.Duration, cfg.G)
+	crossH := make([]time.Duration, cfg.G)
+
+	denseEmb := make([]*tensor.Tensor, cfg.G)
+	dDenseEmb := make([]*tensor.Tensor, cfg.G)
+	inflight := make([][]pendingBucket, cfg.G)
+
+	comms := sptt.NewComms(cfg.Compression.Embedding, func(g int) {
+		m := tr.replicas[g]
+		if carry != nil {
+			// Step N's buckets complete here — while this rank's step (f)
+			// peer AlltoAll for step N+1 is in flight. The deltas of the
+			// world group's counters around the waits are the cross-step
+			// sub-attribution (safe to read: the counters belong to this
+			// rank and this is its dataflow goroutine, sequenced by the
+			// previous step's Run joins).
+			params := m.OverArchParams()
+			c := tr.world[g]
+			e0, h0 := c.Times()
+			for _, pb := range carry.inflight[g] {
+				tr.finishBucket(g, params, pb, invG)
+			}
+			e1, h1 := c.Times()
+			crossE[g], crossH[g] = e1-e0, h1-h0
+			// Deferred over-arch update: after the averages, before
+			// ForwardBottom reads the parameters.
+			tr.overOpts[g].Step(params)
+		}
+		for _, p := range m.DenseParams() {
+			p.ZeroGrad()
+		}
+		denseEmb[g] = m.ForwardBottom(batches[g].Dense)
+		tr.charge(g, tr.bottomFwd)
+	}, tr.net)
+	comms.BwdOverlap = func(g int) {
+		// Runs between the post and the Wait of the REVERSE step (f) peer
+		// AlltoAll: the bottom-MLP backward and the bottom-bucket launches
+		// cover the return transfer.
+		m := tr.replicas[g]
+		m.BackwardBottom(dDenseEmb[g])
+		tr.charge(g, tr.bottomBwd)
+		c := tr.world[g]
+		params := m.OverArchParams()
+		for _, b := range tr.buckets {
+			if b.afterBottom {
+				inflight[g] = append(inflight[g], tr.launchBucket(c, g, params, b))
+			}
+		}
+	}
+	compressed, st := tr.engine.SPTTForwardCompressed(inputs, tr.modules, sptt.Options{Comms: comms})
+	embFwd := lap()
+
+	// Dense phase: forward from the precomputed bottom activation, loss,
+	// top backward, and the top-bucket launches. The bottom backward has
+	// moved into the BwdOverlap hook above.
+	res := StepResult{PerRankLoss: make([]float64, cfg.G)}
+	dCompressed := make([]*tensor.Tensor, cfg.G)
+	comm.Run(tr.world, func(c *comm.Comm) {
+		g := c.Rank()
+		m := tr.replicas[g]
+		params := m.OverArchParams()
+		logits := m.ForwardDenseFrom(denseEmb[g], compressed[g])
+		res.PerRankLoss[g] = tr.loss[g].Forward(logits, batches[g].Labels)
+		tr.charge(g, tr.topFwd)
+		dC, dD := m.BackwardTop(tr.loss[g].Backward())
+		tr.charge(g, tr.topBwd)
+		dCompressed[g] = dC
+		dDenseEmb[g] = dD
+		for _, b := range tr.buckets {
+			if !b.afterBottom {
+				inflight[g] = append(inflight[g], tr.launchBucket(c, g, params, b))
+			}
+		}
+	})
+	// Summed in rank order after the join so the mean is deterministic.
+	for g := 0; g < cfg.G; g++ {
+		res.MeanLoss += res.PerRankLoss[g] / float64(cfg.G)
+	}
+	dense := lap()
+
+	// SPTT backward; each rank's BwdOverlap hook fires inside it. After
+	// this phase every bucket of the step has been launched — none waited.
+	sparse := tr.engine.SPTTBackward(st, dCompressed)
+	embBwd := lap()
+
+	// Gradient normalization for the tower-module and sparse shares. The
+	// over-arch share is normalized by finishBucket when the NEXT step (or
+	// Drain) completes the carried buckets.
+	comm.Run(tr.world, func(c *comm.Comm) {
+		tr.scaleRank(c.Rank(), sparse, invG)
+	})
+	gradEx := lap()
+
+	// Updates for everything except the over-arch, whose gradients are
+	// still on the wire: tower-module Adam and the owner-applied sparse
+	// updates. The next step's forward reads tower modules and tables, so
+	// these cannot cross the boundary — and need not: their collectives
+	// already hid inside SPTTBackward.
+	comm.Run(tr.world, func(c *comm.Comm) {
+		g := c.Rank()
+		tr.tmOpts[g].Step(tr.modules[g].Params())
+		tr.applySparse(g, sparse)
+	})
+	update := lap()
+
+	// Leave this step's buckets in flight across the boundary.
+	for g := range inflight {
+		for _, pb := range inflight[g] {
+			pb.carry()
+		}
+	}
+	tr.carry = &pipelineCarry{inflight: inflight}
+
+	var ce, ch time.Duration
+	for g := 0; g < cfg.G; g++ {
+		ce += crossE[g]
+		ch += crossH[g]
+	}
+	gd := time.Duration(cfg.G)
+	exposed, hidden := tr.commTimes(st)
+	tr.account(st, PhaseTimes{
+		EmbComm:          embFwd + embBwd,
+		Dense:            dense,
+		GradExchange:     gradEx,
+		Update:           update,
+		ExposedComm:      exposed,
+		HiddenComm:       hidden,
+		CrossStepExposed: ce / gd,
+		CrossStepHidden:  ch / gd,
+	})
+	return res
+}
+
+// Drain completes the carried work of the last pipelined step: finishes
+// each rank's in-flight gradient buckets and applies the deferred
+// over-arch update, then asserts the comm runtime is fully drained. The
+// drain's exposure is folded into the cumulative stats (without counting a
+// step). Idempotent, and a no-op for the other schedules; Close calls it,
+// and tests call it before comparing final parameters.
+func (tr *Trainer) Drain() {
+	carry := tr.carry
+	if carry == nil {
+		return
+	}
+	tr.carry = nil
+	invG := 1 / float32(tr.cfg.G)
+	crossE := make([]time.Duration, tr.cfg.G)
+	crossH := make([]time.Duration, tr.cfg.G)
+	comm.Run(tr.world, func(c *comm.Comm) {
+		g := c.Rank()
+		params := tr.replicas[g].OverArchParams()
+		e0, h0 := c.Times()
+		for _, pb := range carry.inflight[g] {
+			tr.finishBucket(g, params, pb, invG)
+		}
+		e1, h1 := c.Times()
+		crossE[g], crossH[g] = e1-e0, h1-h0
+		tr.overOpts[g].Step(params)
+	})
+	comm.AssertDrained(tr.world)
+
+	var ce, ch time.Duration
+	for g := 0; g < tr.cfg.G; g++ {
+		ce += crossE[g]
+		ch += crossH[g]
+	}
+	gd := time.Duration(tr.cfg.G)
+	e, h := comm.GroupTimes(tr.world)
+	de, dh := e-tr.lastWorldExposed, h-tr.lastWorldHidden
+	tr.lastWorldExposed, tr.lastWorldHidden = e, h
+	tr.stats.Phases.ExposedComm += de / gd
+	tr.stats.Phases.HiddenComm += dh / gd
+	tr.stats.Phases.CrossStepExposed += ce / gd
+	tr.stats.Phases.CrossStepHidden += ch / gd
+	if tr.net != nil {
+		tr.stats.Sim.CrossStepExposed += ce / gd
+		tr.stats.Sim.CrossStepHidden += ch / gd
+	}
+}

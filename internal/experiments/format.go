@@ -313,6 +313,10 @@ func FormatTraining(r TrainingReport) string {
 		fmt.Fprintf(&b, "overlapped vs rank-parallel: %.2fx — exposed is mean-per-rank time blocked in\n", r.OverlapSpeedup)
 		fmt.Fprintf(&b, "collective receives; hidden is in-flight collective time covered by compute\n")
 	}
+	if r.PipelineSpeedup > 0 {
+		fmt.Fprintf(&b, "pipelined vs rank-parallel: %.2fx — gradient buckets complete across the step\n", r.PipelineSpeedup)
+		fmt.Fprintf(&b, "boundary, behind the next step's SPTT forward (drained tail included in the timing)\n")
+	}
 	return b.String()
 }
 

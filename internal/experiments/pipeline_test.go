@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmt/internal/quant"
+	"dmt/internal/topology"
+)
+
+// TestPipelineMeasured is the acceptance gate behind the cross-step
+// pipelining table (and the bench-pipeline CI job): at G=8 on the simulated
+// A100 fabric, the pipelined schedule exposes strictly less modeled
+// communication than the overlapped baseline at both wire schemes, the
+// pipelined rows actually hide bucket completion across step boundaries,
+// the trajectory stays schedule-invariant, and the whole table is
+// deterministic bit for bit.
+func TestPipelineMeasured(t *testing.T) {
+	r := Pipeline(topology.A100)
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	for _, s := range []quant.Scheme{quant.None, quant.FP16} {
+		over := r.Row(s, false)
+		pipe := r.Row(s, true)
+		// The gate: strictly below the overlapped floor at the same scheme.
+		if pipe.ExposedComm >= over.ExposedComm {
+			t.Errorf("%s: pipelined exposed %v not strictly below overlapped %v",
+				s, pipe.ExposedComm, over.ExposedComm)
+		}
+		// The mechanism: the previous step's buckets really complete behind
+		// the next step's forward — and only the pipelined schedule crosses
+		// the boundary at all.
+		if pipe.CrossStepHidden <= 0 {
+			t.Errorf("%s: pipelined row hid no cross-step bucket completion", s)
+		}
+		if over.CrossStepExposed != 0 || over.CrossStepHidden != 0 {
+			t.Errorf("%s: overlapped row charged cross-step time: %v/%v",
+				s, over.CrossStepExposed, over.CrossStepHidden)
+		}
+		// The fabric and the schedule never change values.
+		if pipe.FinalLoss != over.FinalLoss {
+			t.Errorf("%s: schedules diverged in value: %v vs %v", s, pipe.FinalLoss, over.FinalLoss)
+		}
+	}
+	// fp16 wire bytes still reduce exposure under the pipelined schedule.
+	if p16, p32 := r.Row(quant.FP16, true), r.Row(quant.None, true); p16.ExposedComm >= p32.ExposedComm {
+		t.Errorf("pipelined: fp16 exposed %v not below fp32 %v", p16.ExposedComm, p32.ExposedComm)
+	}
+	// Bitwise reproducibility: the table IS the virtual timeline. The
+	// bench-pipeline-check CI gate additionally diffs the rendered table
+	// across GOMAXPROCS settings.
+	r2 := Pipeline(topology.A100)
+	if !reflect.DeepEqual(r.Rows, r2.Rows) {
+		t.Fatalf("pipeline table not deterministic:\n%+v\n%+v", r.Rows, r2.Rows)
+	}
+	out := FormatPipeline(r)
+	for _, want := range []string{"fp16/pipeline", "fp32/overlap", "xstepHid"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrainingThroughputPipelineRow: with Pipeline set the report grows a
+// pipelined row — same bitwise trajectory as the sequential reference, a
+// recorded speedup, and the footer rendered in the train table.
+func TestTrainingThroughputPipelineRow(t *testing.T) {
+	p := SmokeTraining()
+	p.Pipeline = true
+	r := TrainingThroughput(p)
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(r.Rows))
+	}
+	row := r.Rows[2]
+	if row.Mode != "pipelined" {
+		t.Fatalf("unexpected modes: %+v", r.Rows)
+	}
+	if row.FinalLoss != r.Rows[0].FinalLoss {
+		t.Fatalf("pipelined engine diverged: %v vs %v", row.FinalLoss, r.Rows[0].FinalLoss)
+	}
+	if row.Stats.Steps != p.Steps {
+		t.Fatalf("pipelined row counted %d steps, want %d", row.Stats.Steps, p.Steps)
+	}
+	if r.PipelineSpeedup <= 0 {
+		t.Fatalf("pipeline speedup %v", r.PipelineSpeedup)
+	}
+	out := FormatTraining(r)
+	if !strings.Contains(out, "pipelined") {
+		t.Fatalf("train table missing the pipelined row:\n%s", out)
+	}
+}

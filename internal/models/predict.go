@@ -53,7 +53,11 @@ type Predictor interface {
 	Name() string
 	Schema() data.Schema
 	// Predict maps a batch to logits of shape (B). It is safe for
-	// concurrent callers and leaves training state untouched.
+	// concurrent callers and leaves training state untouched. Predict must
+	// not retain b or any of its backing arrays past its return, and its
+	// result must not alias them: callers (the serve worker pool) reuse the
+	// batch's arena for the next flush. Cache implementations satisfy this
+	// by copying what they store.
 	Predict(b *data.Batch, opt PredictOptions) *tensor.Tensor
 }
 

@@ -65,11 +65,14 @@ func (s *Server) takePending() []request {
 	return group
 }
 
-// worker executes flushed batches until the work channel closes.
+// worker executes flushed batches until the work channel closes. Each
+// worker carries its own mergeScratch, so steady-state flushes reuse the
+// batch arena instead of allocating one per forward.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
+	var scratch mergeScratch
 	for group := range s.work {
-		b := mergeBatch(group, s.schema)
+		b := scratch.merge(group, s.schema)
 		logits := s.model.Predict(b, s.opt)
 		// Count before delivering: a client returning from Predict must
 		// already be visible in Stats.

@@ -130,3 +130,50 @@ func TestPredictRejectsWrongShape(t *testing.T) {
 		t.Fatal("out-of-range embedding id was accepted")
 	}
 }
+
+// TestMergeScratchAllocs pins the per-worker batch arena: once a flush has
+// grown the scratch to its high-water mark, re-merging a same-shaped group
+// allocates nothing — the worker's steady state is zero allocations per
+// batch assembly.
+func TestMergeScratchAllocs(t *testing.T) {
+	schema := newStub().schema
+	group := make([]request, 8)
+	for i := range group {
+		group[i] = request{sample: stubSample(float32(i), int32(i%100), int32((i+1)%100))}
+	}
+	var sc mergeScratch
+	b := sc.merge(group, schema)
+	if b.Size != len(group) {
+		t.Fatalf("merged size %d, want %d", b.Size, len(group))
+	}
+	for i, r := range group {
+		if got := b.Dense.At(i, 0); got != r.sample.Dense[0] {
+			t.Fatalf("row %d dense %v, want %v", i, got, r.sample.Dense[0])
+		}
+		lo := int(b.Offsets[0][i])
+		hi := len(b.Indices[0])
+		if i+1 < b.Size {
+			hi = int(b.Offsets[0][i+1])
+		}
+		if hi-lo != len(r.sample.Indices[0]) {
+			t.Fatalf("row %d bag has %d ids, want %d", i, hi-lo, len(r.sample.Indices[0]))
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { sc.merge(group, schema) }); allocs != 0 {
+		t.Fatalf("steady-state merge allocates %v per run, want 0", allocs)
+	}
+	// A smaller flush (a timeout-drained partial batch) reuses the arena
+	// too once the wrapping tensor has been rebuilt for the new size.
+	small := group[:3]
+	sc.merge(small, schema)
+	if allocs := testing.AllocsPerRun(100, func() { sc.merge(small, schema) }); allocs != 0 {
+		t.Fatalf("steady-state partial-batch merge allocates %v per run, want 0", allocs)
+	}
+	// And the merged values survive the reuse: the previous large batch's
+	// rows do not bleed into the smaller one.
+	b = sc.merge(small, schema)
+	if b.Size != 3 || b.Dense.Dim(0) != 3 || len(b.Offsets[0]) != 3 {
+		t.Fatalf("reused batch kept stale shape: size=%d dense=%v offsets=%d",
+			b.Size, b.Dense.Shape(), len(b.Offsets[0]))
+	}
+}

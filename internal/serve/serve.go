@@ -217,25 +217,57 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// mergeBatch assembles accepted requests into the models' batch layout.
-func mergeBatch(reqs []request, schema data.Schema) *data.Batch {
+// mergeScratch is one worker's reusable merge arena. The flushed batch is
+// assembled into backing arrays grown once to the high-water mark and
+// refilled on every flush, so steady-state serving allocates nothing per
+// batch (pinned by TestMergeScratchAllocs). The reuse is legal because each
+// worker owns exactly one in-flight batch at a time and Predict never
+// retains the batch past its return (the models.Predictor contract).
+type mergeScratch struct {
+	dense   []float32 // backing for the (size, NumDense) dense tensor
+	denseT  *tensor.Tensor
+	indices [][]int32
+	offsets [][]int32
+	batch   data.Batch
+}
+
+// merge assembles accepted requests into the models' batch layout, reusing
+// the scratch's arrays. The returned batch is valid until the next merge.
+func (sc *mergeScratch) merge(reqs []request, schema data.Schema) *data.Batch {
 	size := len(reqs)
 	nf := schema.NumSparse()
-	b := &data.Batch{
-		Size:    size,
-		Dense:   tensor.New(size, schema.NumDense),
-		Indices: make([][]int32, nf),
-		Offsets: make([][]int32, nf),
+	nd := schema.NumDense
+	if cap(sc.dense) < size*nd {
+		sc.dense = make([]float32, size*nd)
+		sc.denseT = nil // backing regrown: the wrapping tensor is stale
+	}
+	sc.dense = sc.dense[:size*nd]
+	if sc.denseT == nil || sc.denseT.Dim(0) != size {
+		sc.denseT = tensor.FromSlice(sc.dense, size, nd)
+	}
+	if len(sc.indices) != nf {
+		sc.indices = make([][]int32, nf)
+		sc.offsets = make([][]int32, nf)
 	}
 	for f := 0; f < nf; f++ {
-		b.Offsets[f] = make([]int32, size)
+		sc.indices[f] = sc.indices[f][:0]
+		if cap(sc.offsets[f]) < size {
+			sc.offsets[f] = make([]int32, size)
+		}
+		sc.offsets[f] = sc.offsets[f][:size]
 	}
 	for i, r := range reqs {
-		copy(b.Dense.Row(i), r.sample.Dense)
+		copy(sc.dense[i*nd:(i+1)*nd], r.sample.Dense)
 		for f := 0; f < nf; f++ {
-			b.Offsets[f][i] = int32(len(b.Indices[f]))
-			b.Indices[f] = append(b.Indices[f], r.sample.Indices[f]...)
+			sc.offsets[f][i] = int32(len(sc.indices[f]))
+			sc.indices[f] = append(sc.indices[f], r.sample.Indices[f]...)
 		}
 	}
-	return b
+	sc.batch = data.Batch{
+		Size:    size,
+		Dense:   sc.denseT,
+		Indices: sc.indices,
+		Offsets: sc.offsets,
+	}
+	return &sc.batch
 }

@@ -50,7 +50,11 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 				}
 				pchunks[t] = blk
 			}
-			pg := peerC.AlltoAllTensorsQ(st.comms.CrossHost, pchunks)
+			pending := peerC.IAlltoAllTensorsQ(st.comms.CrossHost, pchunks)
+			if st.comms.BwdOverlap != nil {
+				st.comms.BwdOverlap(rank)
+			}
+			pg := pending.Wait()
 			dShuffled = tensor.New(T, ft, B*N)
 			for p := 0; p < T; p++ {
 				copy(dShuffled.Data()[p*ft*B*N:(p+1)*ft*B*N], pg[p].Data())
@@ -67,7 +71,15 @@ func (e *Engine) SPTTBackward(st *SPTTState, dOuts []*tensor.Tensor) map[int]*nn
 			for t := 0; t < T; t++ {
 				pchunks[t] = parts[t]
 			}
-			pg := peerC.AlltoAllTensorsQ(st.comms.CrossHost, pchunks)
+			// Reverse step (f): post the peer AlltoAll, let the trainer
+			// hide the transfer under its bottom-MLP backward via the
+			// backward-side hook, then wait — the results feed the tower-
+			// module backward below.
+			pending := peerC.IAlltoAllTensorsQ(st.comms.CrossHost, pchunks)
+			if st.comms.BwdOverlap != nil {
+				st.comms.BwdOverlap(rank)
+			}
+			pg := pending.Wait()
 			oT := mod.OutDim()
 			dCompressed := tensor.New(T*B, oT)
 			for p := 0; p < T; p++ {

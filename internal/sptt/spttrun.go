@@ -183,6 +183,18 @@ type Comms struct {
 	// not perform collectives on the dataflow's groups. Purely a
 	// scheduling change: outputs are bitwise identical with or without it.
 	Overlap func(rank int)
+	// BwdOverlap is the backward-side counterpart: when non-nil it is
+	// invoked once per rank between posting the REVERSE step (f) peer
+	// AlltoAll in SPTTBackward and waiting on its results, so rank-local
+	// backward compute (the distributed trainer's bottom-MLP backward and
+	// its gradient-bucket launches) hides the return transfer. Same
+	// contract as Overlap: runs on the rank's dataflow goroutine, must
+	// touch only rank-private state plus groups disjoint from the
+	// dataflow's, and is purely a scheduling change — outputs are bitwise
+	// identical with or without it. Comms (with this hook) is captured in
+	// SPTTState at forward time, so the hook set for a step's forward is
+	// the one its backward invokes.
+	BwdOverlap func(rank int)
 	// Net, when non-nil, runs the dataflow's collectives in simulated-
 	// latency mode: all communicator families are built against this
 	// network, so message delays follow its point-to-point cost model and
