@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt fmt-check vet bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-pipeline bench-pipeline-check bench-embtier bench-embtier-check bench-cluster bench-cluster-check bench-hotpath bench-hotpath-check fuzz-smoke serve-demo
+.PHONY: build test race fmt fmt-check vet lint bench bench-smoke bench-train bench-overlap bench-overlap-check bench-latency bench-latency-check bench-pipeline bench-pipeline-check bench-embtier bench-embtier-check bench-cluster bench-cluster-check bench-hotpath bench-hotpath-check fuzz-smoke serve-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,19 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# The full lint gate: gofmt, go vet, and the repo's own dmt-lint analyzer
+# suite (internal/analysis: pendingwait, retainrelease, determinism,
+# noretain) run as a vet tool. staticcheck and the shadow pass run too
+# when installed; offline environments skip them (CI runs them in the
+# advisory lint-extra job, where they are installed from the network).
+lint: fmt-check vet
+	$(GO) build -o bin/dmt-lint ./cmd/dmt-lint
+	$(GO) vet -vettool=bin/dmt-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed; skipped"; fi
+	@if command -v shadow >/dev/null 2>&1; then $(GO) vet -vettool=$$(command -v shadow) ./...; \
+	else echo "lint: shadow not installed; skipped"; fi
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m .

@@ -1,0 +1,63 @@
+// dmt-lint machine-checks the repo's concurrency, refcount, and
+// determinism invariants (see internal/analysis).
+//
+// It is a standard go/analysis unitchecker, so it runs two ways:
+//
+//	go vet -vettool=$(pwd)/bin/dmt-lint ./...   # as a vet tool
+//	go run ./cmd/dmt-lint ./...                 # standalone
+//
+// Standalone mode simply re-executes the binary under `go vet -vettool`,
+// which supplies the build-system plumbing (package loading, export
+// data, fact files) a unitchecker needs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"dmt/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetInvocation(args) {
+		unitchecker.Main(analysis.All()...) // does not return
+	}
+
+	// Standalone: re-exec under go vet with ourselves as the tool.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmt-lint: %v\n", err)
+		os.Exit(1)
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "dmt-lint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetInvocation reports whether the go command is driving us: it calls
+// the tool with -V=full for its version handshake, -flags to enumerate
+// the tool's flags, and a *.cfg file per package unit.
+func vetInvocation(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V=") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,3 +1,7 @@
 module dmt
 
 go 1.24
+
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"dmt/internal/analysis/linttest"
+)
+
+// TestDeterminism runs the analyzer over the virtual-clock fixture
+// packages: wall-clock reads (including the seeded internal/comm
+// violation), the process-global rand source, and order-sensitive map
+// ranges are flagged; commutative-exact bodies, seeded rand, test files,
+// and the justified //dmt:nondeterministic-ok escape hatch are not.
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "determinism", "internal")
+}

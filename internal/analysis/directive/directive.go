@@ -1,0 +1,79 @@
+// Package directive parses dmt-lint suppression comments.
+//
+// Every dmt-lint analyzer accepts a per-line escape hatch of the form
+//
+//	//dmt:<marker>-ok <reason>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above. The reason is mandatory: a bare marker is itself a
+// diagnostic, so every suppression in the tree carries a written
+// justification that survives review.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Index holds the positions of one analyzer's suppression markers within a
+// pass, keyed by (file, line). Build it once per pass with New; bare markers
+// (no reason) are reported immediately as diagnostics.
+type Index struct {
+	pass   *analysis.Pass
+	marker string
+	lines  map[string]map[int]bool // filename -> set of suppressed lines
+}
+
+// New scans every file in the pass for marker (e.g.
+// "//dmt:nondeterministic-ok") and returns the index. A marker with no
+// trailing reason is reported against the comment and does not suppress.
+func New(pass *analysis.Pass, marker string) *Index {
+	ix := &Index{pass: pass, marker: marker, lines: map[string]map[int]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ix.add(c)
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *Index) add(c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//"+ix.marker)
+	if !ok {
+		return
+	}
+	if reason := strings.TrimSpace(text); reason == "" {
+		ix.pass.Reportf(c.Pos(), "%s needs a reason: //%s <why this is safe>", ix.marker, ix.marker)
+		return
+	}
+	pos := ix.pass.Fset.Position(c.Pos())
+	set := ix.lines[pos.Filename]
+	if set == nil {
+		set = map[int]bool{}
+		ix.lines[pos.Filename] = set
+	}
+	// A trailing comment suppresses its own line; a comment on its own
+	// line suppresses the line below it. Marking both is harmless and
+	// covers either placement without tracking what else shares the line.
+	set[pos.Line] = true
+	set[pos.Line+1] = true
+}
+
+// Suppresses reports whether a justified marker covers pos.
+func (ix *Index) Suppresses(pos token.Pos) bool {
+	p := ix.pass.Fset.Position(pos)
+	return ix.lines[p.Filename][p.Line]
+}
+
+// Report files a diagnostic at pos unless a justified marker covers it.
+func (ix *Index) Report(pos token.Pos, format string, args ...any) {
+	if ix.Suppresses(pos) {
+		return
+	}
+	ix.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,59 @@
+// Package analysis is the dmt-lint suite: golang.org/x/tools/go/analysis
+// analyzers that machine-check the repository's hand-enforced
+// concurrency, refcount, and determinism invariants.
+//
+// Nine PRs in, the correctness story rests on conventions that were
+// documented in comments and caught only at runtime — by AssertDrained,
+// by checkIdle panics, or by the golden-trajectory CI gates noticing a
+// bit flipped. dmt-lint turns each convention into a compile-time
+// property:
+//
+//   - pendingwait: every comm.Pending returned by a non-blocking
+//     collective reaches Wait() or Carry() on all control-flow paths
+//     before scope exit, unless ownership transfers (stored in a bucket
+//     arena, passed on, returned, captured). Catches leaked handles
+//     before the runtime guards do.
+//
+//   - retainrelease: every pooled quant.Encoded reference (minted by
+//     Encode/EncodeResidual, or delivered off the wire via a
+//     .(*quant.Encoded) assertion) reaches Release() or transfers
+//     ownership. A dropped reference is not a crash — the pool tolerates
+//     it — but it silently erodes the zero-alloc steady state the
+//     hot-path CI gates pin.
+//
+//   - determinism: in the packages on the deterministic virtual-clock
+//     path (comm, distributed, netsim, cluster, sptt, embeddings,
+//     workload), forbid wall-clock reads (time.Now/Since/...), the
+//     process-global math/rand source, and map iteration whose body the
+//     analyzer cannot prove order-insensitive. Commutative-exact bodies
+//     (map-to-map builds, integer accumulation, max/min guards,
+//     collect-keys-then-sort) pass without annotation.
+//
+//   - noretain: the documented no-retention boundaries. Predict
+//     implementations must not retain the batch or alias it in their
+//     result; results of //dmt:transient-result arena APIs must not
+//     escape their caller.
+//
+// # Running
+//
+// The suite ships as cmd/dmt-lint, runnable standalone
+// (`go run ./cmd/dmt-lint ./...`, which re-executes itself under
+// `go vet -vettool`) or directly as a vet tool
+// (`go vet -vettool=$(which dmt-lint) ./...`). `make lint` wires it into
+// the repo's lint gate together with gofmt and go vet.
+//
+// # Suppressing a finding
+//
+// Each analyzer honors a line-level escape hatch with a MANDATORY
+// written reason — a bare marker is itself a diagnostic:
+//
+//	//dmt:pending-ok <reason>           pendingwait
+//	//dmt:refcount-ok <reason>          retainrelease
+//	//dmt:nondeterministic-ok <reason>  determinism
+//	//dmt:retain-ok <reason>            noretain
+//
+// placed at the end of the offending line or alone on the line above.
+// Suppressions are for code that is deliberately outside the invariant
+// (a test that leaks a handle to exercise the runtime guard; wall-clock
+// stats that latency mode never reads), not for silencing bugs.
+package analysis

@@ -1,0 +1,15 @@
+package pendingwait_test
+
+import (
+	"testing"
+
+	"dmt/internal/analysis/linttest"
+)
+
+// TestPendingWait runs the analyzer over the pw fixture corpus: dropped,
+// blank-assigned, and branch-leaked handles are flagged; Wait/Carry on
+// all paths, defers, arena stores, closures, returns, panic paths, and
+// the justified //dmt:pending-ok escape hatch are not.
+func TestPendingWait(t *testing.T) {
+	linttest.Run(t, "pendingwait", "pw")
+}

@@ -1,0 +1,154 @@
+// Package retainrelease defines an analyzer that checks the pooled
+// quant.Encoded reference-count protocol.
+//
+// # Invariant
+//
+// Encoded payload buffers are pooled: quant.Encode and EncodeResidual
+// hand out an Encoded holding one reference, a sender fanning a payload
+// out to n receivers calls Retain(n-1) before posting, and every
+// delivered reference — in this in-process runtime, a value pulled off
+// the wire with a `.(*quant.Encoded)` assertion — must be Release()d
+// after its payload has been decoded or folded. A reference that is
+// dropped without Release is not a crash (the pool tolerates it and the
+// GC reclaims the buffers), but it silently defeats the pooling: the
+// buffers never return to the pool, and the steady-state zero-alloc
+// property the hot-path CI gates pin (`make bench-hotpath-check`)
+// erodes one forgotten Release at a time. The analyzer checks, per
+// function, that every acquired reference reaches Release() or an
+// ownership transfer (sent on the wire, stored, passed on, returned) on
+// all paths to the return.
+//
+// Test files are exempt: dropping an Encoded without Release is
+// documented as safe, and codec tests compare payloads without ever
+// pooling them. The analyzer enforces the discipline where it pays —
+// production send/receive paths.
+//
+// # Suppression
+//
+//	e := quant.Encode(s, x) //dmt:refcount-ok <reason>
+package retainrelease
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"dmt/internal/analysis/directive"
+	"dmt/internal/analysis/dmtpkg"
+	"dmt/internal/analysis/flow"
+	"dmt/internal/analysis/pendingwait"
+)
+
+// Marker is the suppression directive, without the leading "//".
+const Marker = "dmt:refcount-ok"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "retainrelease",
+	Doc:      "check that pooled quant.Encoded references are released or transferred on all paths",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func classify(method string) flow.Class {
+	if method == "Release" {
+		return flow.Satisfy
+	}
+	// Retain, Decode, DecodeInto, AddTo, WireBytes, ... read the payload
+	// but leave this holder's reference open.
+	return flow.Neutral
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	supp := directive.New(pass, Marker)
+
+	testFiles := make(map[*ast.File]bool)
+	for _, f := range pass.Files {
+		testFiles[f] = dmtpkg.IsTestFile(pass.Fset, f)
+	}
+
+	check := func(n ast.Node, stack []ast.Node, what string) {
+		if f, ok := stack[0].(*ast.File); ok && testFiles[f] {
+			return
+		}
+		binding, id, bindStmt, method := flow.Bind(stack)
+		switch binding {
+		case flow.BindDiscard, flow.BindBlank:
+			supp.Report(n.Pos(), "pooled quant.Encoded from %s is dropped without Release: its buffers never return to the pool", what)
+		case flow.BindRecv:
+			if classify(method) != flow.Satisfy {
+				supp.Report(n.Pos(), "pooled quant.Encoded from %s is consumed by %s and then dropped without Release", what, method)
+			}
+		case flow.BindVar:
+			v, _ := pass.TypesInfo.ObjectOf(id).(*types.Var)
+			if v == nil {
+				return
+			}
+			tr := &flow.Tracker{
+				Info:           pass.TypesInfo,
+				Var:            v,
+				Creation:       bindStmt,
+				ClassifyMethod: classify,
+			}
+			if g := pendingwait.EnclosingCFG(cfgs, stack); g != nil {
+				if _, leaks := flow.Leaks(g, tr); leaks {
+					supp.Report(n.Pos(), "pooled quant.Encoded %q from %s may reach a return without Release", id.Name, what)
+				}
+			}
+		}
+	}
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil), (*ast.TypeAssertExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// A call returning *quant.Encoded mints a reference the
+			// caller owns (Encode, EncodeResidual, pool getters).
+			tv, ok := pass.TypesInfo.Types[n]
+			if ok && dmtpkg.IsNamed(tv.Type, "quant", "Encoded") && !isMethodOnEncoded(pass, n) {
+				check(n, stack, callNameOf(n))
+			}
+		case *ast.TypeAssertExpr:
+			// Pulling a payload off the wire: each delivered reference
+			// must be released by its receiver. Skip type switches —
+			// their assert has no type syntax.
+			if n.Type == nil {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n.Type]; ok && dmtpkg.IsNamed(tv.Type, "quant", "Encoded") {
+				check(n, stack, "the wire")
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isMethodOnEncoded reports whether call is a method call whose receiver
+// is itself an Encoded — those return derived values or the receiver,
+// never a fresh reference.
+func isMethodOnEncoded(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && dmtpkg.IsNamed(tv.Type, "quant", "Encoded")
+}
+
+func callNameOf(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.Ident:
+		return f.Name
+	}
+	return "call"
+}

@@ -1,0 +1,16 @@
+package retainrelease_test
+
+import (
+	"testing"
+
+	"dmt/internal/analysis/linttest"
+)
+
+// TestRetainRelease runs the analyzer over the rr fixture corpus:
+// dropped and branch-leaked pooled references (minted or asserted off
+// the wire) are flagged; release-on-all-paths, defers, wire sends,
+// fan-out loops, type switches, test files, and the justified
+// //dmt:refcount-ok escape hatch are not.
+func TestRetainRelease(t *testing.T) {
+	linttest.Run(t, "retainrelease", "rr")
+}

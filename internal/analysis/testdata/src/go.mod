@@ -1,0 +1,3 @@
+module dmt
+
+go 1.24

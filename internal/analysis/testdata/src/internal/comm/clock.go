@@ -1,0 +1,9 @@
+package comm
+
+import "time"
+
+// Issued reproduces the seeded violation from the issue's acceptance
+// list: a wall-clock read inside internal/comm.
+func Issued() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in a virtual-clock package`
+}

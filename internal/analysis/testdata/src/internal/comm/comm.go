@@ -1,0 +1,29 @@
+// Package comm is a typecheck-only stub of the repo's comm package: the
+// analyzers match types by the path suffix internal/comm, so fixtures
+// compiled against this stub exercise exactly the production matching.
+package comm
+
+// Pending stubs the non-blocking collective handle.
+type Pending[T any] struct{ v T }
+
+// Wait stubs the blocking completion.
+func (p *Pending[T]) Wait() T { return p.v }
+
+// Carry stubs handing the obligation to the group's carried set.
+func (p *Pending[T]) Carry() {}
+
+// Ticket stubs a read-only accessor that does NOT discharge the handle.
+func (p *Pending[T]) Ticket() int { return 0 }
+
+// Comm stubs one rank's communicator.
+type Comm struct{}
+
+// IAllReduceSum stubs a non-blocking collective returning a handle.
+func (c *Comm) IAllReduceSum(x []float32) *Pending[[]float32] {
+	return &Pending[[]float32]{v: x}
+}
+
+// IBroadcast stubs a second acquisition entry point.
+func (c *Comm) IBroadcast(x []float32, root int) *Pending[[]float32] {
+	return &Pending[[]float32]{v: x}
+}

@@ -1,0 +1,12 @@
+// Package data is a typecheck-only stub of the repo's data package for
+// the noretain fixtures.
+package data
+
+// Batch stubs the arena-backed micro-batch Predict receives.
+type Batch struct {
+	Dense   []float32
+	Indices [][]int32
+}
+
+// Schema stubs the feature layout.
+type Schema struct{ NumDense int }

@@ -1,0 +1,27 @@
+// Package quant is a typecheck-only stub of the repo's quant package for
+// the retainrelease fixtures.
+package quant
+
+// Scheme stubs the codec selector.
+type Scheme int
+
+// FP16 is the only scheme the fixtures need.
+const FP16 Scheme = iota
+
+// Encoded stubs the pooled wire payload.
+type Encoded struct{ refs int }
+
+// Retain stubs adding n references.
+func (e *Encoded) Retain(n int) {}
+
+// Release stubs dropping one reference.
+func (e *Encoded) Release() {}
+
+// Decode stubs reading the payload without consuming the reference.
+func (e *Encoded) Decode() []float32 { return nil }
+
+// Encode stubs minting a pooled reference.
+func Encode(s Scheme, x []float32) *Encoded { return &Encoded{} }
+
+// EncodeResidual stubs the residual-feedback entry point.
+func EncodeResidual(s Scheme, x, r []float32) *Encoded { return &Encoded{} }

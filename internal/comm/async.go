@@ -62,6 +62,7 @@ func newPending[T any](c *Comm, fn func() T) *Pending[T] {
 	if c.g.net != nil {
 		p.issuedVT = c.clock.ns.Load()
 	} else {
+		//dmt:nondeterministic-ok wall-clock-only overlap stats; never read in virtual-clock (latency) mode
 		p.issued = time.Now()
 	}
 	c.issueSeq++
@@ -103,6 +104,7 @@ func (p *Pending[T]) Wait() T {
 			c.clock.hiddenFrontierNS = now
 		}
 	} else {
+		//dmt:nondeterministic-ok wall-clock-only overlap stats; never read in virtual-clock (latency) mode
 		now := time.Now()
 		start := p.issued
 		if c.hiddenFrontier.After(start) {

@@ -214,10 +214,12 @@ func (m *mailbox) take() (v any, blockedNS int64) {
 		panic(errCanceled)
 	}
 	if m.head == len(m.q) {
+		//dmt:nondeterministic-ok measures real blocked time for wall-clock stats; virtual time comes from the netsim clock
 		start := time.Now()
 		for m.head == len(m.q) && !m.canceled {
 			m.cond.Wait()
 		}
+		//dmt:nondeterministic-ok measures real blocked time for wall-clock stats; virtual time comes from the netsim clock
 		blockedNS = time.Since(start).Nanoseconds()
 		if m.canceled {
 			m.mu.Unlock()

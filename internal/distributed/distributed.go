@@ -539,8 +539,10 @@ func (tr *Trainer) phaseClock() func() time.Duration {
 			return d
 		}
 	}
+	//dmt:nondeterministic-ok wall-clock fallback used only when no netsim network is attached; latency mode takes the tr.net branch above
 	last := time.Now()
 	return func() time.Duration {
+		//dmt:nondeterministic-ok wall-clock fallback used only when no netsim network is attached; latency mode takes the tr.net branch above
 		now := time.Now()
 		d := now.Sub(last)
 		last = now
@@ -882,6 +884,7 @@ func (tr *Trainer) stepSequential(batches []*data.Batch, inputs []*sptt.Inputs) 
 			}
 		}
 	}
+	//dmt:nondeterministic-ok in-place scaling of disjoint per-feature gradients; no cross-entry state, order cannot be observed
 	for _, sg := range sparse {
 		d := sg.Grads.Data()
 		for i := range d {

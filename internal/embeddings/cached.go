@@ -86,7 +86,11 @@ func (c *CachedStore) Lookup(reqs []Req) []*tensor.Tensor {
 		// Cache the fetched rows (one Put per distinct missed id). The
 		// cached slice must not alias the returned tensor — callers may
 		// pool in place — so copy out of the fetch response instead.
-		for id, p := range missPositions(missReqs[i]) {
+		// Insertion order must follow the request's id order: under
+		// capacity pressure the LRU evicts by Put recency, so inserting
+		// in map-iteration order made the surviving cached set — and with
+		// it the pinned hit/miss wire counters — vary run to run.
+		for p, id := range missReqs[i].IDs {
 			v := make([]float32, dim)
 			copy(v, fetched[i].Row(p))
 			c.lru.Put(NsKey(r.Table, uint64(id)), v)
@@ -94,14 +98,6 @@ func (c *CachedStore) Lookup(reqs []Req) []*tensor.Tensor {
 		out[i] = rows
 	}
 	return out
-}
-
-func missPositions(r Req) map[int32]int {
-	m := make(map[int32]int, len(r.IDs))
-	for p, id := range r.IDs {
-		m[id] = p
-	}
-	return m
 }
 
 // Update forwards to the inner store and write-backs the refreshed rows.

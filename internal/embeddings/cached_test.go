@@ -1,0 +1,51 @@
+package embeddings
+
+import (
+	"testing"
+)
+
+// TestCachedLookupDeterministicUnderEviction is the regression test for a
+// replay-determinism bug dmt-lint found: Lookup used to insert fetched
+// rows into the LRU by ranging over a position map, so under capacity
+// pressure the eviction order — and with it the surviving cached-ID set
+// and the pinned hit/miss counters — varied run to run. Two identically
+// seeded stores replaying the same requests must now agree exactly on
+// which ids survive and on every cache counter.
+func TestCachedLookupDeterministicUnderEviction(t *testing.T) {
+	const (
+		rows     = 64
+		dim      = 4
+		capacity = 8 // far fewer than the 32 distinct ids below → evictions
+	)
+	ids := make([]int32, 32)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	run := func() ([]bool, CacheStats) {
+		inner := NewLocal(makeTables(1, rows, dim, 7), 0.01)
+		store := Cached(inner, capacity)
+		// Two rounds over the same ids: round 1 is all misses and fills
+		// the cache past capacity; round 2's hits are exactly the ids
+		// that survived eviction.
+		store.Lookup([]Req{{Table: 0, IDs: ids}})
+		store.Lookup([]Req{{Table: 0, IDs: ids}})
+		cached := make([]bool, len(ids))
+		lru := store.(*CachedStore).lru
+		for i, id := range ids {
+			_, cached[i] = lru.Get(NsKey(0, uint64(id)))
+		}
+		return cached, StatsOf(store)
+	}
+	wantCached, wantStats := run()
+	for trial := 0; trial < 8; trial++ {
+		gotCached, gotStats := run()
+		if gotStats != wantStats {
+			t.Fatalf("trial %d: cache stats diverged across identical replays: got %+v, want %+v", trial, gotStats, wantStats)
+		}
+		for i := range wantCached {
+			if gotCached[i] != wantCached[i] {
+				t.Fatalf("trial %d: cached set diverged at id %d: got %v, want %v", trial, ids[i], gotCached, wantCached)
+			}
+		}
+	}
+}

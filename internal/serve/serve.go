@@ -233,6 +233,8 @@ type mergeScratch struct {
 
 // merge assembles accepted requests into the models' batch layout, reusing
 // the scratch's arrays. The returned batch is valid until the next merge.
+//
+//dmt:transient-result
 func (sc *mergeScratch) merge(reqs []request, schema data.Schema) *data.Batch {
 	size := len(reqs)
 	nf := schema.NumSparse()

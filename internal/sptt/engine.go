@@ -227,6 +227,7 @@ func (e *Engine) BaselineBackward(st *BaselineState, dOuts []*tensor.Tensor) map
 // ApplySparseSGD applies per-feature sparse gradients to the engine's
 // tables with plain SGD — the distributed trainer's embedding update.
 func (e *Engine) ApplySparseSGD(grads map[int]*nn.SparseGrad, lr float32) {
+	//dmt:nondeterministic-ok each entry updates its own table; features are disjoint, so visit order cannot be observed
 	for f, g := range grads {
 		e.Tables[f].ApplySparseSGD(g, lr)
 	}

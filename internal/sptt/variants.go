@@ -226,6 +226,7 @@ func (e *Engine) SPTTBackwardRowWise(st *RowWiseState, dOuts []*tensor.Tensor) m
 	// Merge: each feature's rows are disjoint across the tower's L ranks.
 	merged := make(map[int]*nn.SparseGrad)
 	for _, m := range partials {
+		//dmt:nondeterministic-ok distinct features land in distinct merged keys, and rank merge order is fixed by the outer slice
 		for f, g := range m {
 			if ex, ok := merged[f]; ok {
 				merged[f] = mergeDisjointSparse(ex, g)
